@@ -1,0 +1,63 @@
+// Command saraexp regenerates the paper's evaluation figures:
+//
+//	saraexp            # all figures
+//	saraexp -fig 5     # one figure (5, 6, 7, 8 or 9)
+//	saraexp -scale 64  # trade fidelity for speed
+//
+// Output is a text report with the same rows/series the paper plots:
+// per-core minimum NPI for Figs. 5/6/9, the image processor's
+// priority-level distribution per DRAM frequency for Fig. 7, and the
+// average-bandwidth bars for Fig. 8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sara"
+	"sara/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("saraexp: ")
+
+	fig := flag.Int("fig", 0, "figure to regenerate (5..9); 0 = all")
+	scale := flag.Int("scale", 256, "time-scale divisor (larger = faster, coarser)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	opt := sara.ExpOptions{ScaleDiv: *scale, Seed: *seed}
+
+	runAll := *fig == 0
+	if runAll || *fig == 5 {
+		fmt.Println("=== Fig. 5: NPI of critical cores, test case A, one frame ===")
+		for _, r := range sara.Fig5(opt) {
+			fmt.Print(exp.FormatRun(r))
+		}
+	}
+	if runAll || *fig == 6 {
+		fmt.Println("=== Fig. 6: NPI of critical cores, test case B, one frame ===")
+		for _, r := range sara.Fig6(opt) {
+			fmt.Print(exp.FormatRun(r))
+		}
+	}
+	if runAll || *fig == 7 {
+		fmt.Println("=== Fig. 7: Image Proc. priority distribution vs DRAM frequency ===")
+		fmt.Print(exp.FormatFig7(sara.Fig7(opt)))
+	}
+	if runAll || *fig == 8 {
+		fmt.Println("=== Fig. 8: average DRAM bandwidth by scheduling policy ===")
+		fmt.Print(exp.FormatFig8(sara.Fig8(opt)))
+	}
+	if runAll || *fig == 9 {
+		fmt.Println("=== Fig. 9: FR-FCFS vs QoS-RB, test case A ===")
+		for _, r := range sara.Fig9(opt) {
+			fmt.Print(exp.FormatRun(r))
+		}
+	}
+	if !runAll && (*fig < 5 || *fig > 9) {
+		log.Fatalf("unknown figure %d (want 5..9)", *fig)
+	}
+}

@@ -1,0 +1,122 @@
+// Command sarasweep runs the design-space sweeps DESIGN.md calls out as
+// ablations: Policy 2's row-buffer threshold delta, the priority
+// quantization k, and the aging limit T.
+//
+//	sarasweep -sweep delta
+//	sarasweep -sweep bits
+//	sarasweep -sweep aging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sara"
+	"sara/internal/memctrl"
+	"sara/internal/txn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sarasweep: ")
+
+	sweep := flag.String("sweep", "delta", "sweep to run: delta|bits|aging")
+	scale := flag.Int("scale", 256, "time-scale divisor")
+	flag.Parse()
+
+	switch *sweep {
+	case "delta":
+		sweepDelta(*scale)
+	case "bits":
+		sweepBits(*scale)
+	case "aging":
+		sweepAging(*scale)
+	default:
+		log.Fatalf("unknown sweep %q", *sweep)
+	}
+}
+
+// sweepDelta varies Policy 2's threshold: higher delta favors row hits
+// (bandwidth) at growing risk to urgent transactions (worst-case NPI).
+func sweepDelta(scale int) {
+	fmt.Println("delta  bandwidth(GB/s)  worst min NPI (critical cores)")
+	for delta := 0; delta <= 8; delta += 2 {
+		cfg := sara.Saturated(
+			sara.WithPolicy(memctrl.QoSRB),
+			sara.WithScaleDiv(scale),
+			sara.WithDelta(txn.Priority(min(delta, 7))))
+		if delta == 8 {
+			// delta = 8 means "row hits always win" (no priority override).
+			cfg.Delta = 8
+		}
+		sys := sara.Build(cfg)
+		sys.RunFrames(1)
+		from := sys.Now()
+		before := sys.DRAM().Stats()
+		sys.RunFrames(1)
+		worst := 1e9
+		for _, v := range sys.MinNPIByCore(from) {
+			if v < worst {
+				worst = v
+			}
+		}
+		fmt.Printf("%5d  %14.2f  %.3f\n", delta,
+			sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()), worst)
+	}
+}
+
+// sweepBits varies the priority quantization k in 1..4 under Policy 1.
+func sweepBits(scale int) {
+	fmt.Println("bits  levels  worst min NPI (case A, QoS)")
+	for bits := 1; bits <= 4; bits++ {
+		cfg := sara.Camcorder(sara.CaseA,
+			sara.WithPolicy(memctrl.QoS),
+			sara.WithScaleDiv(scale),
+			sara.WithPriorityBits(bits))
+		// Per-core LUT overrides are sized for 8 levels; drop them when
+		// sweeping other quantizations.
+		if bits != 3 {
+			for i := range cfg.DMAs {
+				cfg.DMAs[i].LUTBounds = nil
+			}
+		}
+		sys := sara.Build(cfg)
+		sys.RunFrames(1)
+		from := sys.Now()
+		sys.RunFrames(1)
+		worst := 1e9
+		for _, v := range sys.MinNPIByCore(from) {
+			if v < worst {
+				worst = v
+			}
+		}
+		fmt.Printf("%4d  %6d  %.3f\n", bits, 1<<bits, worst)
+	}
+}
+
+// sweepAging varies the starvation limit T under Policy 1.
+func sweepAging(scale int) {
+	fmt.Println("agingT  worst min NPI (case A, QoS)")
+	for _, t := range []uint64{1000, 10000, 100000, 0} {
+		cfg := sara.Camcorder(sara.CaseA,
+			sara.WithPolicy(memctrl.QoS),
+			sara.WithScaleDiv(scale),
+			sara.WithAgingT(sara.Cycle(t)))
+		sys := sara.Build(cfg)
+		sys.RunFrames(1)
+		from := sys.Now()
+		sys.RunFrames(1)
+		worst := 1e9
+		for _, v := range sys.MinNPIByCore(from) {
+			if v < worst {
+				worst = v
+			}
+		}
+		label := fmt.Sprint(t)
+		if t == 0 {
+			label = "off"
+		}
+		fmt.Printf("%6s  %.3f\n", label, worst)
+	}
+}

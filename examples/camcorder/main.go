@@ -1,0 +1,40 @@
+// Camcorder: the paper's headline comparison (Figs. 5 and 6). Runs the
+// camcorder workload under all four arbitration policies for both test
+// cases and prints which critical cores miss their targets under each —
+// showing that only the priority-based QoS policy delivers every target.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"sara"
+	"sara/internal/exp"
+)
+
+func main() {
+	opt := sara.ExpOptions{ScaleDiv: 256}
+
+	fmt.Println("test case A (all cores, LPDDR4-1866)")
+	fmt.Println(strings.Repeat("-", 60))
+	for _, run := range sara.Fig5(opt) {
+		report(run)
+	}
+
+	fmt.Println()
+	fmt.Println("test case B (GPS/camera/rotator/JPEG off, LPDDR4-1700)")
+	fmt.Println(strings.Repeat("-", 60))
+	for _, run := range sara.Fig6(opt) {
+		report(run)
+	}
+}
+
+func report(run sara.PolicyRun) {
+	failures := run.Failures()
+	verdict := "all critical cores meet their targets"
+	if len(failures) > 0 {
+		verdict = "BELOW TARGET: " + strings.Join(failures, ", ")
+	}
+	fmt.Printf("%-10s bw %5.2f GB/s   %s\n", run.Policy, run.BandwidthGBps, verdict)
+	_ = exp.FormatRun // full per-core tables available via exp.FormatRun(run)
+}

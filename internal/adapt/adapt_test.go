@@ -1,0 +1,135 @@
+package adapt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sara/internal/sim"
+	"sara/internal/txn"
+)
+
+func TestLUTMapBoundaries(t *testing.T) {
+	lut := DefaultLUT(3)
+	cases := []struct {
+		npi  float64
+		want txn.Priority
+	}{
+		{10.0, 0}, {1.5, 0}, {1.3, 1}, {1.1, 2}, {1.0, 3},
+		{0.9, 4}, {0.7, 5}, {0.6, 6}, {0.3, 7}, {0.0, 7}, {-5, 7},
+	}
+	for _, c := range cases {
+		if got := lut.Map(c.npi); got != c.want {
+			t.Errorf("Map(%v) = %d, want %d", c.npi, got, c.want)
+		}
+	}
+}
+
+func TestLUTMonotoneProperty(t *testing.T) {
+	// Property: a lower NPI never maps to a lower priority (urgency is
+	// monotone in unhealthiness), for every quantization.
+	for bits := 1; bits <= 4; bits++ {
+		lut := DefaultLUT(bits)
+		f := func(a, b float64) bool {
+			if a > b {
+				a, b = b, a
+			}
+			return lut.Map(a) >= lut.Map(b)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+	}
+}
+
+func TestLUTLevels(t *testing.T) {
+	for bits := 1; bits <= 4; bits++ {
+		if got := DefaultLUT(bits).Levels(); got != 1<<bits {
+			t.Fatalf("bits=%d levels=%d, want %d", bits, got, 1<<bits)
+		}
+	}
+}
+
+func TestNewLUTValidation(t *testing.T) {
+	for _, bounds := range [][]float64{
+		{},
+		{1.0, 1.0},
+		{0.5, 1.0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLUT(%v) did not panic", bounds)
+				}
+			}()
+			NewLUT(bounds)
+		}()
+	}
+}
+
+func TestLUTHardwareSemantics(t *testing.T) {
+	// §3.4: entry p stores the lowest NPI allowed at level p; all levels
+	// with bound <= NPI assert and the lowest asserted level wins. An NPI
+	// below every finite bound must land on the last level.
+	lut := NewLUT([]float64{2.0, 1.0, 0.5, 0.1})
+	if got := lut.Map(0.05); got != 3 {
+		t.Fatalf("Map(0.05) = %d, want 3 (backlog level admits everything)", got)
+	}
+	if got := lut.Map(1.2); got != 1 {
+		t.Fatalf("Map(1.2) = %d, want 1 (lowest asserted level)", got)
+	}
+}
+
+// fakeDMA records SetPriority calls.
+type fakeDMA struct{ p txn.Priority }
+
+func (f *fakeDMA) SetPriority(p txn.Priority) { f.p = p }
+
+// constMeter yields a settable NPI.
+type constMeter struct{ npi float64 }
+
+func (m *constMeter) NPI(sim.Cycle) float64 { return m.npi }
+
+func TestAdapterAppliesPriority(t *testing.T) {
+	m := &constMeter{npi: 0.4}
+	dst := &fakeDMA{}
+	a := New("t", m, DefaultLUT(3), dst, 100)
+	a.Tick(100)
+	if dst.p != 7 {
+		t.Fatalf("priority %d after unhealthy tick, want 7", dst.p)
+	}
+	if a.Current() != 7 {
+		t.Fatalf("Current() = %d, want 7", a.Current())
+	}
+	m.npi = 2.0
+	a.Tick(200)
+	if dst.p != 0 {
+		t.Fatalf("priority %d after healthy tick, want 0", dst.p)
+	}
+	h := a.Histogram()
+	if h.Total() != 200 {
+		t.Fatalf("histogram weight %d, want 200 (two intervals)", h.Total())
+	}
+	if h.Fraction(7) != 0.5 || h.Fraction(0) != 0.5 {
+		t.Fatalf("histogram fractions 7:%v 0:%v, want 0.5 each", h.Fraction(7), h.Fraction(0))
+	}
+}
+
+func TestAdapterDisabled(t *testing.T) {
+	m := &constMeter{npi: 0.1}
+	dst := &fakeDMA{p: 5}
+	a := New("t", m, DefaultLUT(3), dst, 100)
+	a.SetEnabled(false)
+	a.Tick(100)
+	if dst.p != 0 {
+		t.Fatalf("disabled adapter left priority %d, want 0", dst.p)
+	}
+}
+
+func TestAdapterZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero interval")
+		}
+	}()
+	New("t", &constMeter{}, DefaultLUT(3), &fakeDMA{}, 0)
+}

@@ -1,0 +1,145 @@
+package config
+
+import (
+	"testing"
+
+	"sara/internal/core"
+	"sara/internal/memctrl"
+	"sara/internal/txn"
+)
+
+func TestTable1Settings(t *testing.T) {
+	a := Camcorder(CaseA)
+	if a.DRAM.DataRateMTps != 1866 {
+		t.Fatalf("case A data rate %d, want 1866", a.DRAM.DataRateMTps)
+	}
+	b := Camcorder(CaseB)
+	if b.DRAM.DataRateMTps != 1700 {
+		t.Fatalf("case B data rate %d, want 1700", b.DRAM.DataRateMTps)
+	}
+	if a.QueueCaps.Total() != 42 {
+		t.Fatalf("MC entries %d, want 42", a.QueueCaps.Total())
+	}
+	if a.Delta != 6 || a.AgingT != 10000 || a.PriorityBits != 3 {
+		t.Fatalf("delta/aging/bits = %d/%d/%d, want 6/10000/3", a.Delta, a.AgingT, a.PriorityBits)
+	}
+}
+
+func TestCaseBDisablesCores(t *testing.T) {
+	b := Camcorder(CaseB)
+	for _, spec := range b.DMAs {
+		switch spec.Core {
+		case "GPS", "Camera", "Rotator", "JPEG":
+			t.Fatalf("case B still contains %s", spec.Core)
+		}
+	}
+	a := Camcorder(CaseA)
+	if len(a.DMAs) <= len(b.DMAs) {
+		t.Fatal("case A should have more DMAs than case B")
+	}
+}
+
+// TestTable2Coverage checks every Table 2 core is present in case A with
+// a performance-type-appropriate source kind.
+func TestTable2Coverage(t *testing.T) {
+	want := map[string]core.SourceKind{
+		"GPU":         core.SrcFrame,    // frame rate
+		"DSP":         core.SrcSporadic, // latency
+		"Image Proc.": core.SrcFrame,    // frame rate
+		"Video Codec": core.SrcFrame,    // frame rate
+		"Rotator":     core.SrcFrame,    // frame rate
+		"JPEG":        core.SrcFrame,    // frame rate
+		"Camera":      core.SrcCamera,   // buffer occupancy
+		"Display":     core.SrcDisplay,  // buffer occupancy
+		"GPS":         core.SrcChunk,    // processing time
+		"WiFi":        core.SrcRate,     // bandwidth
+		"USB":         core.SrcRate,     // bandwidth
+		"Modem":       core.SrcChunk,    // processing time
+		"Audio":       core.SrcSporadic, // latency
+	}
+	got := map[string]core.SourceKind{}
+	for _, spec := range Camcorder(CaseA).DMAs {
+		got[spec.Core] = spec.Source.Kind
+	}
+	for name, kind := range want {
+		gk, ok := got[name]
+		if !ok {
+			t.Errorf("Table 2 core %q missing from case A", name)
+			continue
+		}
+		if gk != kind {
+			t.Errorf("%s source kind %v, want %v", name, gk, kind)
+		}
+	}
+}
+
+func TestRotatorPaperRate(t *testing.T) {
+	// The paper's only concrete rate: 89 MB/s per rotator DMA.
+	found := 0
+	for _, spec := range Camcorder(CaseA).DMAs {
+		if spec.Core == "Rotator" {
+			if spec.Source.RateBps != 89*MB {
+				t.Fatalf("rotator DMA rate %v, want 89 MB/s", spec.Source.RateBps)
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("rotator has %d DMAs, want 2 (read + write)", found)
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	cfg := Camcorder(CaseA,
+		WithPolicy(memctrl.FRFCFS),
+		WithSeed(99),
+		WithScaleDiv(128),
+		WithDataRate(1500),
+		WithDelta(4),
+		WithPriorityBits(2),
+		WithAgingT(777),
+		WithAdaptInterval(2048))
+	if cfg.Policy != memctrl.FRFCFS || cfg.Seed != 99 || cfg.ScaleDiv != 128 ||
+		cfg.DRAM.DataRateMTps != 1500 || cfg.Delta != 4 || cfg.PriorityBits != 2 ||
+		cfg.AgingT != 777 || cfg.AdaptInterval != 2048 {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+}
+
+func TestClassRouting(t *testing.T) {
+	for _, spec := range Camcorder(CaseA).DMAs {
+		switch spec.Core {
+		case "CPU":
+			if spec.Class != txn.ClassCPU {
+				t.Errorf("CPU in class %v", spec.Class)
+			}
+		case "GPU":
+			if spec.Class != txn.ClassGPU {
+				t.Errorf("GPU in class %v", spec.Class)
+			}
+		case "DSP":
+			if spec.Class != txn.ClassDSP {
+				t.Errorf("DSP in class %v", spec.Class)
+			}
+		case "GPS", "WiFi", "USB", "Modem", "Audio":
+			if spec.Class != txn.ClassSystem {
+				t.Errorf("%s in class %v, want system", spec.Core, spec.Class)
+			}
+		default:
+			if spec.Class != txn.ClassMedia {
+				t.Errorf("%s in class %v, want media", spec.Core, spec.Class)
+			}
+		}
+	}
+}
+
+func TestSaturatedDemandExceedsCamcorder(t *testing.T) {
+	base := TotalDemandGBps(Camcorder(CaseA).DMAs)
+	sat := TotalDemandGBps(Saturated().DMAs)
+	if sat <= base {
+		t.Fatalf("saturated demand %.1f not above base %.1f", sat, base)
+	}
+	if sat < 15 {
+		t.Fatalf("saturated demand %.1f GB/s too low to stress the DRAM", sat)
+	}
+}

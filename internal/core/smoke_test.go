@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"testing"
+
+	"sara/internal/config"
+	"sara/internal/core"
+	"sara/internal/memctrl"
+)
+
+// TestSmokeCaseA builds the full Case A system and runs one frame at a
+// coarse scale, checking that traffic flows end to end.
+func TestSmokeCaseA(t *testing.T) {
+	for _, p := range memctrl.AllPolicies() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := config.Camcorder(config.CaseA, config.WithPolicy(p), config.WithScaleDiv(256))
+			sys := core.Build(cfg)
+			sys.RunFrames(1)
+
+			var completed uint64
+			for _, u := range sys.Units() {
+				completed += u.Engine.Stats().Completed
+			}
+			if completed == 0 {
+				t.Fatalf("policy %v: no transactions completed", p)
+			}
+			bw := sys.DRAM().AverageBandwidthGBps(sys.Now())
+			t.Logf("policy %v: completed=%d bandwidth=%.2f GB/s rowhit=%.2f",
+				p, completed, bw, sys.DRAM().RowHitRate())
+			if bw <= 1 {
+				t.Errorf("policy %v: implausibly low bandwidth %.2f GB/s", p, bw)
+			}
+			min := sys.MinNPIByCore(sys.Config().FramePeriod() / 4)
+			for core, v := range min {
+				t.Logf("  min NPI %-12s %.3f", core, v)
+			}
+		})
+	}
+}

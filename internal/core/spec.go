@@ -1,0 +1,199 @@
+// Package core assembles the full SARA system: it builds the DRAM, the
+// per-channel memory controllers, the two-level on-chip network, one DMA
+// engine per configured core DMA with its traffic source, performance
+// meter and priority adapter, and orchestrates the per-cycle pipeline.
+// This package is the paper's primary contribution realized as a library:
+// distributed self-monitoring (meters), distributed priority-based
+// adaptation (adapters + LUTs) and distributed system response
+// (priority-aware NoC and memory controller).
+package core
+
+import (
+	"sara/internal/dram"
+	"sara/internal/memctrl"
+	"sara/internal/noc"
+	"sara/internal/sim"
+	"sara/internal/txn"
+)
+
+// SourceKind selects a traffic generator shape.
+type SourceKind uint8
+
+const (
+	// SrcFrame is a bursty whole-frame transfer engine (codec, rotator,
+	// image processor, GPU, JPEG). Meter: frame progress (Eqn. 2).
+	SrcFrame SourceKind = iota
+	// SrcDisplay is a constant-rate read-buffer refill engine.
+	// Meter: buffer occupancy / refill rate (Eqn. 3).
+	SrcDisplay
+	// SrcCamera is a constant-rate write-buffer drain engine.
+	// Meter: buffer occupancy / drain rate.
+	SrcCamera
+	// SrcSporadic is a latency-sensitive sporadic engine (DSP, audio).
+	// Meter: average latency vs limit (Eqn. 1).
+	SrcSporadic
+	// SrcRate is a steady bandwidth engine (WiFi, USB).
+	// Meter: achieved vs target bandwidth.
+	SrcRate
+	// SrcChunk is a periodic work-chunk engine with a processing-time
+	// deadline (GPS, modem). Meter: deadline / completion time.
+	SrcChunk
+	// SrcCPU is rate-limited random background traffic with no QoS target.
+	SrcCPU
+)
+
+// String names the source kind.
+func (k SourceKind) String() string {
+	switch k {
+	case SrcFrame:
+		return "frame"
+	case SrcDisplay:
+		return "display"
+	case SrcCamera:
+		return "camera"
+	case SrcSporadic:
+		return "sporadic"
+	case SrcRate:
+		return "rate"
+	case SrcChunk:
+		return "chunk"
+	case SrcCPU:
+		return "cpu"
+	}
+	return "unknown"
+}
+
+// SourceSpec parameterizes a traffic source in real-time units; the
+// builder converts to cycles and bytes using the DRAM clock and the
+// configured time scale.
+type SourceSpec struct {
+	Kind SourceKind
+	// RateBps is the average demand in bytes per second of real time.
+	// For SrcFrame it determines bytes per frame; for SrcChunk, bytes per
+	// chunk; for buffered sources, the fill/drain rate; for SrcRate and
+	// SrcCPU, the token rate; for SrcSporadic, the average request rate.
+	RateBps float64
+	// ReadFrac is the read share of the traffic (1 = all reads).
+	ReadFrac float64
+	// ReqSize overrides the per-transaction size; 0 selects one DRAM burst.
+	ReqSize uint32
+	// RefFactor scales a frame source's reference progress slope.
+	RefFactor float64
+	// BurstReqs batches a rate source's emissions (bulk-transfer style).
+	BurstReqs int
+	// Locality is a CPU source's sequential-run probability.
+	Locality float64
+	// BufSeconds sizes a display/camera buffer in seconds of traffic at
+	// RateBps (scaled); 0 selects a default of 2 adaptation intervals.
+	BufSeconds float64
+	// LatencyLimit is a sporadic source's average-latency QoS limit in
+	// cycles (Eqn. 1).
+	LatencyLimit sim.Cycle
+	// ChunkPeriodFrac is a chunk source's arrival period as a fraction of
+	// the frame period (default 0.25).
+	ChunkPeriodFrac float64
+	// Scatter randomizes a chunk source's addresses (defeats row locality).
+	Scatter bool
+	// DeadlineFrac is a chunk's deadline as a fraction of its period
+	// (default 0.6).
+	DeadlineFrac float64
+	// StartOffsetFrac delays the source's start by this fraction of the
+	// frame period, de-phasing bursty engines.
+	StartOffsetFrac float64
+}
+
+// DMASpec is one DMA of one core.
+type DMASpec struct {
+	// Core is the owning core's name as reported in the figures
+	// ("Display", "Image Proc.", ...).
+	Core string
+	// DMA is the engine suffix ("rd", "wr", ""); the full label is
+	// "Core/DMA".
+	DMA string
+	// Class routes the DMA to its memory-controller queue.
+	Class txn.Class
+	// Source is the traffic shape.
+	Source SourceSpec
+	// Window bounds outstanding transactions (0 selects a default by
+	// source kind).
+	Window int
+	// Critical marks cores whose NPI the experiment figures track.
+	Critical bool
+	// LUTBounds overrides the default NPI-to-priority table.
+	LUTBounds []float64
+}
+
+// Label returns the full DMA name.
+func (d DMASpec) Label() string {
+	if d.DMA == "" {
+		return d.Core
+	}
+	return d.Core + "/" + d.DMA
+}
+
+// Config is the whole-system configuration.
+type Config struct {
+	// Seed drives every random stream in the run.
+	Seed uint64
+	// DRAM is the device configuration (Table 1).
+	DRAM dram.Config
+	// Policy is the arbitration policy used by both the memory
+	// controllers and the NoC arbiters.
+	Policy memctrl.PolicyKind
+	// Delta is Policy 2's row-buffer threshold (paper: 6).
+	Delta txn.Priority
+	// AgingT is the starvation limit in cycles (paper: 10000).
+	AgingT sim.Cycle
+	// QueueCaps splits the 42 controller entries across the five queues.
+	QueueCaps memctrl.QueueCaps
+	// NoC holds the network parameters; Arb is overridden from Policy.
+	NoC noc.Params
+	// PriorityBits is k; priorities span 0..2^k-1 (paper: 3).
+	PriorityBits int
+	// AdaptInterval is the adaptation period in cycles.
+	AdaptInterval sim.Cycle
+	// RealFrameSeconds is the unscaled frame period (1/30 s).
+	RealFrameSeconds float64
+	// ScaleDiv shrinks the simulated frame period and all per-frame data
+	// volumes by this factor, keeping rates and latencies unchanged.
+	ScaleDiv int
+	// SampleEvery is the NPI sampling period for the figure time series.
+	SampleEvery sim.Cycle
+	// DMAs lists every DMA in the system.
+	DMAs []DMASpec
+}
+
+// FramePeriod reports the scaled frame period in cycles.
+func (c Config) FramePeriod() sim.Cycle {
+	return c.DRAM.CyclesFromSeconds(c.RealFrameSeconds / float64(c.ScaleDiv))
+}
+
+// ScaledBps converts a real-time byte rate into the scaled simulation's
+// bytes-per-cycle (rates are invariant under time scaling).
+func (c Config) ScaledBps(bps float64) float64 {
+	return c.DRAM.BytesPerCycle(bps)
+}
+
+// SARAEnabled reports whether the configured policy uses the dynamic
+// priorities (Policy 1 or Policy 2); baseline policies run with the
+// adapters disabled, matching the paper's comparisons.
+func (c Config) SARAEnabled() bool {
+	return c.Policy == memctrl.QoS || c.Policy == memctrl.QoSRB
+}
+
+// NoCArb maps the memory-controller policy onto the NoC arbitration kind:
+// priority policies use priority arbitration, the frame-rate baseline its
+// urgency arbitration, round-robin stays round-robin, and FCFS/FR-FCFS use
+// FCFS in the network (row-buffer state is invisible to routers).
+func (c Config) NoCArb() noc.ArbKind {
+	switch c.Policy {
+	case memctrl.RR:
+		return noc.ArbRR
+	case memctrl.FrameRate:
+		return noc.ArbFrameRate
+	case memctrl.QoS, memctrl.QoSRB:
+		return noc.ArbPriority
+	default:
+		return noc.ArbFCFS
+	}
+}

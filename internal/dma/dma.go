@@ -1,0 +1,203 @@
+// Package dma implements the DMA engines that sit between a core's
+// traffic source and the on-chip network. Each DMA keeps a bounded queue
+// of generated requests, injects them into its NoC port subject to an
+// outstanding-transaction window, stamps every transaction with the
+// priority its adapter most recently chose (Section 3.2), and routes
+// completion notifications back to the source and the performance meter.
+package dma
+
+import (
+	"fmt"
+
+	"sara/internal/noc"
+	"sara/internal/sim"
+	"sara/internal/txn"
+)
+
+// CompletionFunc observes a finished transaction.
+type CompletionFunc func(t *txn.Transaction, now sim.Cycle)
+
+// request is a generated but not-yet-injected memory request.
+type request struct {
+	kind txn.Kind
+	addr txn.Addr
+	size uint32
+}
+
+// Config parameterizes one DMA engine.
+type Config struct {
+	// Name labels the DMA in reports, e.g. "ImageProc-rd".
+	Name string
+	// Core is the owning core's name; figures aggregate DMAs by core.
+	Core string
+	// Class selects the memory-controller queue.
+	Class txn.Class
+	// Window bounds the number of injected-but-incomplete transactions.
+	Window int
+	// MaxPending bounds the generated-but-not-injected request queue.
+	MaxPending int
+}
+
+// Stats holds the DMA's counters.
+type Stats struct {
+	Generated      uint64
+	Injected       uint64
+	Completed      uint64
+	BytesCompleted uint64
+	// TotalLatency accumulates end-to-end cycles for completed reads and
+	// writes, for average-latency reporting.
+	TotalLatency uint64
+	// InjectStalls counts cycles where a pending request existed but the
+	// NoC port was full or the window exhausted.
+	InjectStalls uint64
+}
+
+// Engine is one DMA unit.
+type Engine struct {
+	cfg  Config
+	id   int
+	port *noc.Port
+	hop  sim.Cycle
+
+	priority txn.Priority
+	// urgent is probed at injection time for the frame-rate baseline; nil
+	// means never urgent.
+	urgent func() bool
+
+	pending     []request
+	outstanding int
+	nextID      *uint64
+
+	onComplete []CompletionFunc
+	stats      Stats
+}
+
+// New builds a DMA engine. id must be unique per system; nextID is the
+// system-wide transaction ID counter; port is the engine's NoC input port
+// and hop its injection link latency.
+func New(cfg Config, id int, nextID *uint64, port *noc.Port, hop sim.Cycle) *Engine {
+	if cfg.Window <= 0 {
+		panic(fmt.Sprintf("dma %s: window must be positive", cfg.Name))
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 2 * cfg.Window
+	}
+	return &Engine{cfg: cfg, id: id, nextID: nextID, port: port, hop: hop}
+}
+
+// Name returns the DMA label.
+func (e *Engine) Name() string { return e.cfg.Name }
+
+// Core returns the owning core's name.
+func (e *Engine) Core() string { return e.cfg.Core }
+
+// Class returns the memory-controller queue class.
+func (e *Engine) Class() txn.Class { return e.cfg.Class }
+
+// ID returns the engine's system-wide index.
+func (e *Engine) ID() int { return e.id }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// SetPriority sets the urgency stamped on future transactions. It
+// implements adapt.PrioritySetter.
+func (e *Engine) SetPriority(p txn.Priority) { e.priority = p }
+
+// Priority reports the currently stamped priority.
+func (e *Engine) Priority() txn.Priority { return e.priority }
+
+// SetUrgentProbe installs the frame-progress urgency probe used by the
+// frame-rate-based QoS baseline.
+func (e *Engine) SetUrgentProbe(fn func() bool) { e.urgent = fn }
+
+// OnComplete registers a completion observer (meter, source bookkeeping).
+func (e *Engine) OnComplete(fn CompletionFunc) {
+	e.onComplete = append(e.onComplete, fn)
+}
+
+// Enqueue adds a request to the pending queue. It reports false when the
+// queue is full, letting rate-based sources retry next cycle without
+// losing the tokens.
+func (e *Engine) Enqueue(kind txn.Kind, addr txn.Addr, size uint32) bool {
+	if len(e.pending) >= e.cfg.MaxPending {
+		return false
+	}
+	e.pending = append(e.pending, request{kind: kind, addr: addr, size: size})
+	e.stats.Generated++
+	return true
+}
+
+// PendingSpace reports how many more requests Enqueue will accept.
+func (e *Engine) PendingSpace() int { return e.cfg.MaxPending - len(e.pending) }
+
+// Pending reports the generated-but-not-injected request count.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// Outstanding reports the injected-but-incomplete transaction count.
+func (e *Engine) Outstanding() int { return e.outstanding }
+
+// Tick injects pending requests into the NoC port while the outstanding
+// window and port space allow.
+func (e *Engine) Tick(now sim.Cycle) {
+	stalled := false
+	for len(e.pending) > 0 && e.outstanding < e.cfg.Window {
+		if !e.port.CanAccept() {
+			stalled = true
+			break
+		}
+		r := e.pending[0]
+		copy(e.pending, e.pending[1:])
+		e.pending = e.pending[:len(e.pending)-1]
+
+		*e.nextID++
+		t := &txn.Transaction{
+			ID:       *e.nextID,
+			Kind:     r.kind,
+			Addr:     r.addr,
+			Size:     r.size,
+			Priority: e.priority,
+			Source:   e.id,
+			Class:    e.cfg.Class,
+			Issue:    now,
+		}
+		if e.urgent != nil {
+			t.Urgent = e.urgent()
+		}
+		e.port.Push(t, now, now+e.hop)
+		e.outstanding++
+		e.stats.Injected++
+	}
+	if !stalled && len(e.pending) > 0 && e.outstanding >= e.cfg.Window {
+		stalled = true
+	}
+	if stalled {
+		e.stats.InjectStalls++
+	}
+}
+
+// Deliver hands a completed transaction back to the DMA at cycle now.
+func (e *Engine) Deliver(t *txn.Transaction, now sim.Cycle) {
+	if t.Source != e.id {
+		panic(fmt.Sprintf("dma %s: delivery of foreign txn %d", e.cfg.Name, t.ID))
+	}
+	t.Complete = now
+	e.outstanding--
+	if e.outstanding < 0 {
+		panic(fmt.Sprintf("dma %s: negative outstanding count", e.cfg.Name))
+	}
+	e.stats.Completed++
+	e.stats.BytesCompleted += uint64(t.Size)
+	e.stats.TotalLatency += uint64(t.Latency())
+	for _, fn := range e.onComplete {
+		fn(t, now)
+	}
+}
+
+// AverageLatency reports mean end-to-end latency in cycles, or 0.
+func (e *Engine) AverageLatency() float64 {
+	if e.stats.Completed == 0 {
+		return 0
+	}
+	return float64(e.stats.TotalLatency) / float64(e.stats.Completed)
+}

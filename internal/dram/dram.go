@@ -1,0 +1,318 @@
+package dram
+
+import (
+	"fmt"
+
+	"sara/internal/sim"
+)
+
+// BankState is the row-buffer state of one bank.
+type BankState uint8
+
+const (
+	// BankClosed means no row is in the row buffer.
+	BankClosed BankState = iota
+	// BankOpen means a row is active in the row buffer.
+	BankOpen
+)
+
+// bank holds per-bank timing and row-buffer state.
+type bank struct {
+	state BankState
+	row   uint64
+
+	nextActivate  sim.Cycle // earliest ACT
+	nextRead      sim.Cycle // earliest READ CAS
+	nextWrite     sim.Cycle // earliest WRITE CAS
+	nextPrecharge sim.Cycle // earliest PRE
+
+	// reservedBy is the ID of the transaction currently walking this bank
+	// through PRE/ACT on its behalf, or 0 when free. The memory controller
+	// maintains it to prevent precharge/activate thrash between competing
+	// transactions; the DRAM model stores it because the bank is the
+	// natural owner.
+	reservedBy uint64
+}
+
+// rank tracks the constraints shared by all banks of a rank.
+type rank struct {
+	banks []bank
+	// actHistory holds the cycles of the most recent activates for the
+	// tFAW four-activate window (ring buffer of size 4). actCount tracks
+	// how many activates have happened so a slot holding cycle 0 is not
+	// mistaken for an empty one.
+	actHistory [4]sim.Cycle
+	actIdx     int
+	actCount   uint64
+	lastAct    sim.Cycle // for tRRD
+	hasAct     bool
+}
+
+// channel bundles the ranks behind one data bus.
+type channel struct {
+	ranks []rank
+	// dataFree is the cycle the data bus becomes free.
+	dataFree sim.Cycle
+	// nextRead/nextWrite gate bus-turnaround between read and write
+	// bursts on the shared channel wires.
+	nextRead  sim.Cycle
+	nextWrite sim.Cycle
+	// stats
+	readBursts  uint64
+	writeBursts uint64
+	bytesMoved  uint64
+	activates   uint64
+	precharges  uint64
+}
+
+// DRAM is the device model. It is driven by the memory controller(s); it
+// has no per-cycle work of its own.
+type DRAM struct {
+	cfg      Config
+	mapper   *AddressMapper
+	channels []channel
+	// firstIssue/lastIssue bound the active measurement window for
+	// average-bandwidth reporting.
+	firstIssue sim.Cycle
+	lastIssue  sim.Cycle
+	anyIssue   bool
+}
+
+// New builds a DRAM from cfg. It panics on invalid configuration, because
+// configurations are produced by code (not user input) in this library.
+func New(cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DRAM{
+		cfg:      cfg,
+		mapper:   NewAddressMapper(cfg.Geometry, cfg.Timing),
+		channels: make([]channel, cfg.Geometry.Channels),
+	}
+	for c := range d.channels {
+		d.channels[c].ranks = make([]rank, cfg.Geometry.Ranks)
+		for r := range d.channels[c].ranks {
+			d.channels[c].ranks[r].banks = make([]bank, cfg.Geometry.Banks)
+		}
+	}
+	return d
+}
+
+// Config returns the configuration the device was built with.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Mapper returns the address mapper shared with the controllers and NoC.
+func (d *DRAM) Mapper() *AddressMapper { return d.mapper }
+
+func (d *DRAM) bank(loc Location) *bank {
+	return &d.channels[loc.Channel].ranks[loc.Rank].banks[loc.Bank]
+}
+
+func (d *DRAM) rank(loc Location) *rank {
+	return &d.channels[loc.Channel].ranks[loc.Rank]
+}
+
+// State reports the row-buffer state and open row of the bank at loc.
+func (d *DRAM) State(loc Location) (BankState, uint64) {
+	b := d.bank(loc)
+	return b.state, b.row
+}
+
+// RowHit reports whether a CAS to loc would hit the open row right now
+// (ignoring timing readiness).
+func (d *DRAM) RowHit(loc Location) bool {
+	b := d.bank(loc)
+	return b.state == BankOpen && b.row == loc.Row
+}
+
+// ReservedBy reports which transaction holds the bank at loc (0 if none).
+func (d *DRAM) ReservedBy(loc Location) uint64 { return d.bank(loc).reservedBy }
+
+// Reserve marks the bank at loc as owned by transaction id. It panics if
+// the bank is already reserved by a different transaction, which would
+// indicate a scheduler bug.
+func (d *DRAM) Reserve(loc Location, id uint64) {
+	b := d.bank(loc)
+	if b.reservedBy != 0 && b.reservedBy != id {
+		panic(fmt.Sprintf("dram: bank %v already reserved by txn %d, wanted %d", loc, b.reservedBy, id))
+	}
+	b.reservedBy = id
+}
+
+// Release frees the reservation on the bank at loc if held by id.
+func (d *DRAM) Release(loc Location, id uint64) {
+	b := d.bank(loc)
+	if b.reservedBy == id {
+		b.reservedBy = 0
+	}
+}
+
+// --- Activate ---
+
+// CanActivate reports whether an ACT to loc may issue at cycle now.
+func (d *DRAM) CanActivate(loc Location, now sim.Cycle) bool {
+	b := d.bank(loc)
+	if b.state != BankClosed || now < b.nextActivate {
+		return false
+	}
+	rk := d.rank(loc)
+	if rk.hasAct && now < rk.lastAct+d.cfg.Timing.TRRD {
+		return false
+	}
+	// tFAW: the fourth-most-recent activate must be at least tFAW ago.
+	if rk.actCount >= uint64(len(rk.actHistory)) {
+		oldest := rk.actHistory[rk.actIdx]
+		if now < oldest+d.cfg.Timing.TFAW {
+			return false
+		}
+	}
+	return true
+}
+
+// Activate opens row loc.Row in the bank at loc. The caller must have
+// checked CanActivate.
+func (d *DRAM) Activate(loc Location, now sim.Cycle) {
+	if !d.CanActivate(loc, now) {
+		panic(fmt.Sprintf("dram: illegal ACT at %d to %+v", now, loc))
+	}
+	t := d.cfg.Timing
+	b := d.bank(loc)
+	b.state = BankOpen
+	b.row = loc.Row
+	b.nextRead = maxCycle(b.nextRead, now+t.TRCD)
+	b.nextWrite = maxCycle(b.nextWrite, now+t.TRCD)
+	b.nextPrecharge = maxCycle(b.nextPrecharge, now+t.TRAS)
+	rk := d.rank(loc)
+	rk.lastAct = now
+	rk.hasAct = true
+	rk.actHistory[rk.actIdx] = now
+	rk.actIdx = (rk.actIdx + 1) % len(rk.actHistory)
+	rk.actCount++
+	d.channels[loc.Channel].activates++
+	d.markIssue(now)
+}
+
+// --- Precharge ---
+
+// CanPrecharge reports whether a PRE to loc may issue at cycle now.
+func (d *DRAM) CanPrecharge(loc Location, now sim.Cycle) bool {
+	b := d.bank(loc)
+	return b.state == BankOpen && now >= b.nextPrecharge
+}
+
+// Precharge closes the open row in the bank at loc.
+func (d *DRAM) Precharge(loc Location, now sim.Cycle) {
+	if !d.CanPrecharge(loc, now) {
+		panic(fmt.Sprintf("dram: illegal PRE at %d to %+v", now, loc))
+	}
+	b := d.bank(loc)
+	b.state = BankClosed
+	b.nextActivate = maxCycle(b.nextActivate, now+d.cfg.Timing.TRP)
+	d.channels[loc.Channel].precharges++
+	d.markIssue(now)
+}
+
+// --- Read ---
+
+// CanRead reports whether a READ CAS to loc may issue at now. The open row
+// must match loc.Row.
+func (d *DRAM) CanRead(loc Location, now sim.Cycle) bool {
+	b := d.bank(loc)
+	if b.state != BankOpen || b.row != loc.Row {
+		return false
+	}
+	ch := &d.channels[loc.Channel]
+	if now < b.nextRead || now < ch.nextRead {
+		return false
+	}
+	// The data burst [now+CL, now+CL+BL/2) must not collide with an
+	// earlier burst still on the bus.
+	return now+d.cfg.Timing.CL >= ch.dataFree
+}
+
+// Read issues a READ CAS and returns the cycle at which the last data beat
+// arrives (i.e. when the transaction's data is fully available).
+func (d *DRAM) Read(loc Location, now sim.Cycle) sim.Cycle {
+	if !d.CanRead(loc, now) {
+		panic(fmt.Sprintf("dram: illegal READ at %d to %+v", now, loc))
+	}
+	t := d.cfg.Timing
+	b := d.bank(loc)
+	ch := &d.channels[loc.Channel]
+	burst := t.BurstCycles()
+	dataStart := now + t.CL
+	dataEnd := dataStart + burst
+
+	ch.dataFree = dataEnd
+	// Same-channel CAS-to-CAS spacing.
+	b.nextRead = maxCycle(b.nextRead, now+t.TCCD)
+	ch.nextRead = maxCycle(ch.nextRead, now+t.TCCD)
+	// Read-to-write turnaround: the write burst may not start before the
+	// read burst has left the bus (plus one dead cycle).
+	ch.nextWrite = maxCycle(ch.nextWrite, dataEnd+1-t.CWL)
+	// Precharge must respect tRTP from the read command.
+	b.nextPrecharge = maxCycle(b.nextPrecharge, now+t.TRTP)
+
+	ch.readBursts++
+	ch.bytesMoved += uint64(d.cfg.Geometry.BurstBytes(t))
+	d.markIssue(now)
+	return dataEnd
+}
+
+// --- Write ---
+
+// CanWrite reports whether a WRITE CAS to loc may issue at now.
+func (d *DRAM) CanWrite(loc Location, now sim.Cycle) bool {
+	b := d.bank(loc)
+	if b.state != BankOpen || b.row != loc.Row {
+		return false
+	}
+	ch := &d.channels[loc.Channel]
+	if now < b.nextWrite || now < ch.nextWrite {
+		return false
+	}
+	return now+d.cfg.Timing.CWL >= ch.dataFree
+}
+
+// Write issues a WRITE CAS and returns the cycle at which the write data
+// has been fully transferred (the controller acknowledges the transaction
+// then).
+func (d *DRAM) Write(loc Location, now sim.Cycle) sim.Cycle {
+	if !d.CanWrite(loc, now) {
+		panic(fmt.Sprintf("dram: illegal WRITE at %d to %+v", now, loc))
+	}
+	t := d.cfg.Timing
+	b := d.bank(loc)
+	ch := &d.channels[loc.Channel]
+	burst := t.BurstCycles()
+	dataStart := now + t.CWL
+	dataEnd := dataStart + burst
+
+	ch.dataFree = dataEnd
+	b.nextWrite = maxCycle(b.nextWrite, now+t.TCCD)
+	ch.nextWrite = maxCycle(ch.nextWrite, now+t.TCCD)
+	// Write-to-read turnaround (tWTR counted from end of write data).
+	ch.nextRead = maxCycle(ch.nextRead, dataEnd+t.TWTR)
+	// Write recovery before precharge (tWR from end of write data).
+	b.nextPrecharge = maxCycle(b.nextPrecharge, dataEnd+t.TWR)
+
+	ch.writeBursts++
+	ch.bytesMoved += uint64(d.cfg.Geometry.BurstBytes(t))
+	d.markIssue(now)
+	return dataEnd
+}
+
+func (d *DRAM) markIssue(now sim.Cycle) {
+	if !d.anyIssue {
+		d.firstIssue = now
+		d.anyIssue = true
+	}
+	d.lastIssue = now
+}
+
+func maxCycle(a, b sim.Cycle) sim.Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

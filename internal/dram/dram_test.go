@@ -1,0 +1,401 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sara/internal/sim"
+	"sara/internal/txn"
+)
+
+func testConfig() Config { return PaperConfig(1866) }
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("paper config invalid: %v", err)
+	}
+	bad := testConfig()
+	bad.Timing.BL = 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("odd burst length accepted")
+	}
+	bad = testConfig()
+	bad.Geometry.Channels = 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-power-of-two channels accepted")
+	}
+	bad = testConfig()
+	bad.DataRateMTps = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero data rate accepted")
+	}
+	bad = testConfig()
+	bad.Timing.TRAS = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("tRAS below tRCD accepted")
+	}
+}
+
+func TestPaperTimingMatchesTable1(t *testing.T) {
+	tm := PaperTiming()
+	if tm.CL != 36 || tm.TRCD != 34 || tm.TRP != 34 {
+		t.Fatalf("CL-tRCD-tRP = %d-%d-%d, want 36-34-34", tm.CL, tm.TRCD, tm.TRP)
+	}
+	if tm.TWTR != 19 || tm.TRTP != 14 || tm.TWR != 34 {
+		t.Fatalf("tWTR-tRTP-tWR = %d-%d-%d, want 19-14-34", tm.TWTR, tm.TRTP, tm.TWR)
+	}
+	if tm.TRRD != 19 || tm.TFAW != 75 {
+		t.Fatalf("tRRD-tFAW = %d-%d, want 19-75", tm.TRRD, tm.TFAW)
+	}
+	g := PaperGeometry()
+	if g.Channels != 2 || g.Ranks != 2 || g.Banks != 8 {
+		t.Fatalf("channels-ranks-banks = %d-%d-%d, want 2-2-8", g.Channels, g.Ranks, g.Banks)
+	}
+}
+
+func TestClockAndRates(t *testing.T) {
+	cfg := testConfig()
+	if hz := cfg.ClockHz(); hz != 933e6 {
+		t.Fatalf("clock %v Hz, want 933e6", hz)
+	}
+	// 933 MB/s is exactly one byte per command-clock cycle.
+	if bpc := cfg.BytesPerCycle(933e6); bpc != 1.0 {
+		t.Fatalf("BytesPerCycle(933e6) = %v, want 1", bpc)
+	}
+	if c := cfg.CyclesFromSeconds(1e-6); c != 933 {
+		t.Fatalf("1us = %d cycles, want 933", c)
+	}
+	peak := cfg.PeakBandwidthGBps()
+	if peak < 29.8 || peak > 29.9 {
+		t.Fatalf("peak bandwidth %.2f GB/s, want ~29.86", peak)
+	}
+}
+
+func TestAddressMapperRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	m := NewAddressMapper(cfg.Geometry, cfg.Timing)
+	f := func(raw uint64) bool {
+		// Restrict to 2 GB (Table 1 volume) and burst alignment.
+		addr := txn.Addr(raw % (2 << 30) &^ uint64(m.BurstBytes()-1))
+		loc := m.Decode(addr)
+		return m.Encode(loc) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressMapperChannelInterleave(t *testing.T) {
+	cfg := testConfig()
+	m := NewAddressMapper(cfg.Geometry, cfg.Timing)
+	bb := txn.Addr(m.BurstBytes())
+	// Consecutive bursts alternate channels.
+	if m.Channel(0) == m.Channel(bb) {
+		t.Fatal("consecutive bursts mapped to same channel")
+	}
+	if m.Channel(0) != m.Channel(2*bb) {
+		t.Fatal("stride-2 bursts should return to the same channel")
+	}
+}
+
+func TestAddressMapperSequentialRowLocality(t *testing.T) {
+	cfg := testConfig()
+	m := NewAddressMapper(cfg.Geometry, cfg.Timing)
+	// Walking one channel's bursts within a row should keep bank and row
+	// fixed while the column advances.
+	first := m.Decode(0)
+	colsPerRow := cfg.Geometry.RowBytes / m.BurstBytes()
+	for i := 1; i < colsPerRow; i++ {
+		addr := txn.Addr(i * m.BurstBytes() * cfg.Geometry.Channels)
+		loc := m.Decode(addr)
+		if loc.Row != first.Row || loc.Bank != first.Bank || loc.Channel != first.Channel {
+			t.Fatalf("burst %d left the row: %+v vs %+v", i, loc, first)
+		}
+		if loc.Col != uint64(i) {
+			t.Fatalf("burst %d col = %d", i, loc.Col)
+		}
+	}
+}
+
+func TestBankStateMachine(t *testing.T) {
+	d := New(testConfig())
+	loc := Location{Channel: 0, Rank: 0, Bank: 0, Row: 5}
+	tm := d.Config().Timing
+
+	if st, _ := d.State(loc); st != BankClosed {
+		t.Fatal("bank should start closed")
+	}
+	if !d.CanActivate(loc, 0) {
+		t.Fatal("fresh bank should accept ACT")
+	}
+	d.Activate(loc, 0)
+	if st, row := d.State(loc); st != BankOpen || row != 5 {
+		t.Fatalf("bank state %v row %d after ACT", st, row)
+	}
+	if d.CanRead(loc, 0) {
+		t.Fatal("READ must wait tRCD")
+	}
+	if !d.CanRead(loc, tm.TRCD) {
+		t.Fatal("READ should be legal at tRCD")
+	}
+	done := d.Read(loc, tm.TRCD)
+	if want := tm.TRCD + tm.CL + tm.BurstCycles(); done != want {
+		t.Fatalf("read data end %d, want %d", done, want)
+	}
+	if !d.RowHit(loc) {
+		t.Fatal("open matching row should be a hit")
+	}
+	other := loc
+	other.Row = 9
+	if d.RowHit(other) {
+		t.Fatal("different row must not be a hit")
+	}
+}
+
+func TestPrechargeRespectsTRASAndTRP(t *testing.T) {
+	d := New(testConfig())
+	tm := d.Config().Timing
+	loc := Location{Row: 1}
+	d.Activate(loc, 0)
+	if d.CanPrecharge(loc, tm.TRCD) {
+		t.Fatal("PRE before tRAS accepted")
+	}
+	if !d.CanPrecharge(loc, tm.TRAS) {
+		t.Fatal("PRE at tRAS rejected")
+	}
+	d.Precharge(loc, tm.TRAS)
+	if d.CanActivate(loc, tm.TRAS+1) {
+		t.Fatal("ACT before tRP accepted")
+	}
+	if !d.CanActivate(loc, tm.TRAS+tm.TRP) {
+		t.Fatal("ACT at tRP rejected")
+	}
+}
+
+func TestTRRDBetweenBanks(t *testing.T) {
+	d := New(testConfig())
+	tm := d.Config().Timing
+	a := Location{Bank: 0, Row: 1}
+	b := Location{Bank: 1, Row: 1}
+	d.Activate(a, 0)
+	if d.CanActivate(b, tm.TRRD-1) {
+		t.Fatal("ACT before tRRD accepted")
+	}
+	if !d.CanActivate(b, tm.TRRD) {
+		t.Fatal("ACT at tRRD rejected")
+	}
+}
+
+func TestTFAWFourActivateWindow(t *testing.T) {
+	d := New(testConfig())
+	tm := d.Config().Timing
+	now := sim.Cycle(0)
+	for bank := 0; bank < 4; bank++ {
+		loc := Location{Bank: bank, Row: 1}
+		for !d.CanActivate(loc, now) {
+			now++
+		}
+		d.Activate(loc, now)
+	}
+	fifth := Location{Bank: 4, Row: 1}
+	// The fifth activate must wait until tFAW after the first, even once
+	// tRRD from the fourth has long passed.
+	if now+tm.TRRD < tm.TFAW && d.CanActivate(fifth, now+tm.TRRD) {
+		t.Fatalf("fifth ACT allowed at %d, inside the tFAW window", now+tm.TRRD)
+	}
+	earliest := tm.TFAW
+	if now+tm.TRRD > earliest {
+		earliest = now + tm.TRRD
+	}
+	if !d.CanActivate(fifth, earliest) {
+		t.Fatalf("fifth ACT rejected at %d (tFAW %d, last+tRRD %d)", earliest, tm.TFAW, now+tm.TRRD)
+	}
+	// A different rank has its own window.
+	otherRank := Location{Rank: 1, Bank: 0, Row: 1}
+	if !d.CanActivate(otherRank, now+tm.TRRD) {
+		t.Fatal("other rank should not share the tFAW window")
+	}
+}
+
+func TestDataBusSerializesBursts(t *testing.T) {
+	d := New(testConfig())
+	tm := d.Config().Timing
+	a := Location{Bank: 0, Row: 1}
+	b := Location{Bank: 1, Row: 1}
+	d.Activate(a, 0)
+	d.Activate(b, tm.TRRD)
+	start := tm.TRRD + tm.TRCD
+	d.Read(a, start)
+	// A second CAS on the same channel must respect tCCD.
+	if d.CanRead(b, start+1) {
+		t.Fatal("second READ inside tCCD accepted")
+	}
+	if !d.CanRead(b, start+tm.TCCD) {
+		t.Fatal("second READ at tCCD rejected")
+	}
+	// A different channel's bus is independent.
+	c := Location{Channel: 1, Bank: 0, Row: 1}
+	d.Activate(c, 0)
+	if !d.CanRead(c, start+1) {
+		t.Fatal("other channel should have a free bus")
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	d := New(testConfig())
+	tm := d.Config().Timing
+	a := Location{Bank: 0, Row: 1}
+	b := Location{Bank: 1, Row: 1}
+	d.Activate(a, 0)
+	d.Activate(b, tm.TRRD)
+	start := tm.TRRD + tm.TRCD
+	dataEnd := d.Write(a, start)
+	if d.CanRead(b, dataEnd+tm.TWTR-1) {
+		t.Fatal("READ inside tWTR accepted")
+	}
+	if !d.CanRead(b, dataEnd+tm.TWTR) {
+		t.Fatal("READ at tWTR rejected")
+	}
+}
+
+func TestWriteRecoveryBeforePrecharge(t *testing.T) {
+	d := New(testConfig())
+	tm := d.Config().Timing
+	loc := Location{Row: 3}
+	d.Activate(loc, 0)
+	dataEnd := d.Write(loc, tm.TRCD)
+	if d.CanPrecharge(loc, dataEnd+tm.TWR-1) {
+		t.Fatal("PRE inside tWR accepted")
+	}
+	if !d.CanPrecharge(loc, dataEnd+tm.TWR) {
+		t.Fatal("PRE at tWR rejected")
+	}
+}
+
+func TestIllegalCommandsPanic(t *testing.T) {
+	for name, fn := range map[string]func(*DRAM){
+		"read closed bank": func(d *DRAM) { d.Read(Location{Row: 1}, 0) },
+		"precharge closed": func(d *DRAM) { d.Precharge(Location{}, 0) },
+		"double activate":  func(d *DRAM) { d.Activate(Location{Row: 1}, 0); d.Activate(Location{Row: 2}, 1) },
+		"write wrong row":  func(d *DRAM) { d.Activate(Location{Row: 1}, 0); d.Write(Location{Row: 2}, 100) },
+		"read before tRCD": func(d *DRAM) { d.Activate(Location{Row: 1}, 0); d.Read(Location{Row: 1}, 1) },
+	} {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn(New(testConfig()))
+		})
+	}
+}
+
+func TestReservation(t *testing.T) {
+	d := New(testConfig())
+	loc := Location{Row: 1}
+	d.Reserve(loc, 42)
+	if got := d.ReservedBy(loc); got != 42 {
+		t.Fatalf("reserved by %d, want 42", got)
+	}
+	d.Release(loc, 7) // wrong owner: no-op
+	if got := d.ReservedBy(loc); got != 42 {
+		t.Fatal("release by non-owner cleared reservation")
+	}
+	d.Release(loc, 42)
+	if got := d.ReservedBy(loc); got != 0 {
+		t.Fatal("release by owner did not clear reservation")
+	}
+}
+
+func TestReserveConflictPanics(t *testing.T) {
+	d := New(testConfig())
+	loc := Location{Row: 1}
+	d.Reserve(loc, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on conflicting reservation")
+		}
+	}()
+	d.Reserve(loc, 2)
+}
+
+func TestStatsAndBandwidth(t *testing.T) {
+	d := New(testConfig())
+	tm := d.Config().Timing
+	loc := Location{Row: 1}
+	d.Activate(loc, 0)
+	d.Read(loc, tm.TRCD)
+	d.Read(loc, tm.TRCD+tm.TCCD)
+	st := d.Stats().Totals()
+	if st.ReadBursts != 2 || st.Activates != 1 {
+		t.Fatalf("stats %+v, want 2 reads 1 activate", st)
+	}
+	wantBytes := uint64(2 * d.Config().Geometry.BurstBytes(tm))
+	if st.BytesMoved != wantBytes {
+		t.Fatalf("bytes %d, want %d", st.BytesMoved, wantBytes)
+	}
+	if hr := d.RowHitRate(); hr != 0.5 {
+		t.Fatalf("row hit rate %.2f, want 0.5 (1 hit of 2 CAS)", hr)
+	}
+	if bw := d.AverageBandwidthGBps(933); bw <= 0 {
+		t.Fatalf("bandwidth %v, want positive", bw)
+	}
+}
+
+func TestRandomizedCommandLegality(t *testing.T) {
+	// Property: driving the device with a random-but-legal command stream
+	// never panics and never lets two bursts overlap on a channel's bus.
+	d := New(testConfig())
+	tm := d.Config().Timing
+	rng := uint64(12345)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int(rng>>33) % n
+	}
+	var busFree [2]sim.Cycle
+	for now := sim.Cycle(0); now < 20000; now++ {
+		loc := Location{
+			Channel: next(2),
+			Rank:    next(2),
+			Bank:    next(8),
+			Row:     uint64(next(4)),
+		}
+		switch next(4) {
+		case 0:
+			if d.CanActivate(loc, now) {
+				d.Activate(loc, now)
+			}
+		case 1:
+			if st, row := d.State(loc); st == BankOpen {
+				loc.Row = row
+				if d.CanRead(loc, now) {
+					start := now + tm.CL
+					if start < busFree[loc.Channel] {
+						t.Fatalf("read burst overlaps bus at %d", now)
+					}
+					busFree[loc.Channel] = d.Read(loc, now)
+				}
+			}
+		case 2:
+			if st, row := d.State(loc); st == BankOpen {
+				loc.Row = row
+				if d.CanWrite(loc, now) {
+					start := now + tm.CWL
+					if start < busFree[loc.Channel] {
+						t.Fatalf("write burst overlaps bus at %d", now)
+					}
+					busFree[loc.Channel] = d.Write(loc, now)
+				}
+			}
+		case 3:
+			if d.CanPrecharge(loc, now) {
+				d.Precharge(loc, now)
+			}
+		}
+	}
+	if d.Stats().Totals().BytesMoved == 0 {
+		t.Fatal("random driver moved no data")
+	}
+}

@@ -1,0 +1,84 @@
+package dram
+
+import "sara/internal/sim"
+
+// ChannelStats is a snapshot of one channel's activity counters.
+type ChannelStats struct {
+	ReadBursts  uint64
+	WriteBursts uint64
+	BytesMoved  uint64
+	Activates   uint64
+	Precharges  uint64
+}
+
+// Stats aggregates counters across channels.
+type Stats struct {
+	Channels []ChannelStats
+}
+
+// Totals sums the per-channel counters.
+func (s Stats) Totals() ChannelStats {
+	var t ChannelStats
+	for _, c := range s.Channels {
+		t.ReadBursts += c.ReadBursts
+		t.WriteBursts += c.WriteBursts
+		t.BytesMoved += c.BytesMoved
+		t.Activates += c.Activates
+		t.Precharges += c.Precharges
+	}
+	return t
+}
+
+// Stats returns a snapshot of all channel counters.
+func (d *DRAM) Stats() Stats {
+	s := Stats{Channels: make([]ChannelStats, len(d.channels))}
+	for i := range d.channels {
+		c := &d.channels[i]
+		s.Channels[i] = ChannelStats{
+			ReadBursts:  c.readBursts,
+			WriteBursts: c.writeBursts,
+			BytesMoved:  c.bytesMoved,
+			Activates:   c.activates,
+			Precharges:  c.precharges,
+		}
+	}
+	return s
+}
+
+// RowHitRate reports the fraction of CAS commands that did not require a
+// fresh activate: 1 - activates/(reads+writes). It is an aggregate measure
+// of row-buffer locality actually exploited.
+func (d *DRAM) RowHitRate() float64 {
+	t := d.Stats().Totals()
+	cas := t.ReadBursts + t.WriteBursts
+	if cas == 0 {
+		return 0
+	}
+	hits := float64(cas) - float64(t.Activates)
+	if hits < 0 {
+		hits = 0
+	}
+	return hits / float64(cas)
+}
+
+// AverageBandwidthGBps reports total bytes moved divided by the elapsed
+// simulated time up to cycle now, in GB/s.
+func (d *DRAM) AverageBandwidthGBps(now sim.Cycle) float64 {
+	if now == 0 {
+		return 0
+	}
+	t := d.Stats().Totals()
+	seconds := float64(now) / d.cfg.ClockHz()
+	return float64(t.BytesMoved) / seconds / 1e9
+}
+
+// BandwidthOverWindowGBps reports bytes moved between two stats snapshots
+// divided by the window length, in GB/s. Use it to exclude warmup.
+func (d *DRAM) BandwidthOverWindowGBps(before Stats, from, to sim.Cycle) float64 {
+	if to <= from {
+		return 0
+	}
+	moved := d.Stats().Totals().BytesMoved - before.Totals().BytesMoved
+	seconds := float64(to-from) / d.cfg.ClockHz()
+	return float64(moved) / seconds / 1e9
+}

@@ -1,0 +1,330 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"sara/internal/dram"
+	"sara/internal/sim"
+	"sara/internal/txn"
+)
+
+// Config parameterizes one per-channel controller.
+type Config struct {
+	// Channel is the DRAM channel this controller owns.
+	Channel int
+	// Policy selects the arbitration policy.
+	Policy PolicyKind
+	// Delta is Policy 2's row-buffer threshold (paper: 6).
+	Delta txn.Priority
+	// AgingT is the starvation limit: any transaction that has waited at
+	// least this many cycles is served before policy order applies
+	// (paper: 10000). Zero disables aging.
+	AgingT sim.Cycle
+	// QueueCaps splits the controller's entries across the five class
+	// queues.
+	QueueCaps QueueCaps
+}
+
+// DefaultConfig returns the paper's controller settings for a channel.
+func DefaultConfig(channel int) Config {
+	return Config{
+		Channel:   channel,
+		Policy:    QoS,
+		Delta:     6,
+		AgingT:    10000,
+		QueueCaps: DefaultQueueCaps(),
+	}
+}
+
+// Stats holds the controller's activity counters.
+type Stats struct {
+	Served       uint64 // transactions completed (CAS issued)
+	ServedReads  uint64
+	ServedWrites uint64
+	// Row-locality classification of served transactions: a hit issued its
+	// CAS against an already-open matching row; a miss had to activate a
+	// closed bank; a conflict had to precharge another row first.
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+	// AgedServes counts transactions served through the aging override.
+	AgedServes uint64
+	// PerClass counts served transactions per queue class.
+	PerClass [txn.NumClasses]uint64
+	// Enqueued counts admissions.
+	Enqueued uint64
+}
+
+// Controller is one channel's transaction scheduler. It is driven by the
+// SoC assembly: Enqueue from the NoC side, Tick once per cycle to issue at
+// most one DRAM command.
+type Controller struct {
+	cfg    Config
+	dram   *dram.DRAM
+	mapper *dram.AddressMapper
+	queues [txn.NumClasses]classQueue
+	rrPtr  txn.Class // class whose turn is next on priority ties / RR
+
+	// OnComplete is invoked when a transaction's DRAM phase finishes:
+	// for reads, the cycle the last data beat leaves the device; for
+	// writes, the cycle the write data has been absorbed. The SoC layer
+	// adds the response-network latency before notifying the DMA.
+	OnComplete func(t *txn.Transaction, done sim.Cycle)
+
+	stats Stats
+
+	// scratch is reused every cycle to collect issuable candidates.
+	scratch []candidate
+	// aged marks that scratch currently holds only over-age candidates.
+	agedPass bool
+	// rowState tracks whether each queued transaction needed a precharge
+	// (conflict) or activate (miss) before its CAS, keyed by txn ID.
+	needed map[uint64]uint8
+	// bankHit caches, per (rank, bank), the highest priority among queued
+	// transactions that hit the currently open row. Row-aware policies use
+	// it to avoid precharging a row that still has useful hits queued.
+	bankHit map[int]txn.Priority
+}
+
+const (
+	neededNothing uint8 = iota
+	neededAct
+	neededPre
+)
+
+// New builds a controller for the given channel of d.
+func New(cfg Config, d *dram.DRAM) *Controller {
+	if cfg.Channel < 0 || cfg.Channel >= d.Config().Geometry.Channels {
+		panic(fmt.Sprintf("memctrl: channel %d out of range", cfg.Channel))
+	}
+	c := &Controller{
+		cfg:     cfg,
+		dram:    d,
+		mapper:  d.Mapper(),
+		needed:  make(map[uint64]uint8),
+		bankHit: make(map[int]txn.Priority),
+	}
+	for i := range c.queues {
+		c.queues[i] = classQueue{class: txn.Class(i), cap: cfg.QueueCaps[i]}
+	}
+	return c
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// SpaceFor reports whether the class queue can admit one more transaction.
+// The NoC uses it as the credit check before forwarding.
+func (c *Controller) SpaceFor(class txn.Class) bool {
+	return !c.queues[class].full()
+}
+
+// Occupancy reports the number of queued transactions in class.
+func (c *Controller) Occupancy(class txn.Class) int {
+	return len(c.queues[class].entries)
+}
+
+// Enqueue admits t at cycle now. The caller must have checked SpaceFor.
+func (c *Controller) Enqueue(t *txn.Transaction, now sim.Cycle) {
+	loc := c.mapper.Decode(t.Addr)
+	if loc.Channel != c.cfg.Channel {
+		panic(fmt.Sprintf("memctrl: txn %d routed to channel %d, controller owns %d",
+			t.ID, loc.Channel, c.cfg.Channel))
+	}
+	t.Enqueue = now
+	c.queues[t.Class].push(entry{t: t, loc: loc})
+	c.stats.Enqueued++
+}
+
+// Pending reports the total number of queued transactions.
+func (c *Controller) Pending() int {
+	n := 0
+	for i := range c.queues {
+		n += len(c.queues[i].entries)
+	}
+	return n
+}
+
+// rrDist measures how far class is from the round-robin pointer; the class
+// whose turn is next has distance 0.
+func (c *Controller) rrDist(class txn.Class) int {
+	return (int(class) - int(c.rrPtr) + txn.NumClasses) % txn.NumClasses
+}
+
+// Tick issues at most one DRAM command for this channel.
+func (c *Controller) Tick(now sim.Cycle) {
+	c.collectCandidates(now)
+	if len(c.scratch) == 0 {
+		return
+	}
+	best := c.scratch[0]
+	for _, cand := range c.scratch[1:] {
+		if c.agedPass {
+			if olderFirst(cand, best) {
+				best = cand
+			}
+		} else if c.cfg.Policy.better(cand, best, c.rrDist, c.cfg.Delta) {
+			best = cand
+		}
+	}
+	c.issue(best, now)
+}
+
+// collectCandidates fills c.scratch with every queued transaction that can
+// issue a DRAM command at cycle now, honoring bank reservations. When any
+// transaction is over the aging limit, only over-age transactions are
+// candidates (the "clear the backlog" rule of Section 3.3).
+func (c *Controller) collectCandidates(now sim.Cycle) {
+	c.scratch = c.scratch[:0]
+	c.agedPass = false
+	c.refreshBankHits()
+	if c.cfg.AgingT > 0 {
+		for qi := range c.queues {
+			for _, e := range c.queues[qi].entries {
+				if now >= e.t.Enqueue+c.cfg.AgingT && c.issuable(e, now, true) {
+					c.scratch = append(c.scratch, candidate{e: e, rowHit: c.dram.RowHit(e.loc)})
+				}
+			}
+		}
+		if len(c.scratch) > 0 {
+			c.agedPass = true
+			return
+		}
+	}
+	for qi := range c.queues {
+		for _, e := range c.queues[qi].entries {
+			if c.issuable(e, now, false) {
+				c.scratch = append(c.scratch, candidate{e: e, rowHit: c.dram.RowHit(e.loc)})
+			}
+		}
+	}
+}
+
+// refreshBankHits recomputes the per-bank best queued row-hit priority.
+// Only the row-aware policies consult it, so other policies skip the scan.
+func (c *Controller) refreshBankHits() {
+	if c.cfg.Policy != FRFCFS && c.cfg.Policy != QoSRB {
+		return
+	}
+	for k := range c.bankHit {
+		delete(c.bankHit, k)
+	}
+	for qi := range c.queues {
+		for _, e := range c.queues[qi].entries {
+			if !c.dram.RowHit(e.loc) {
+				continue
+			}
+			key := c.bankKey(e.loc)
+			if p, ok := c.bankHit[key]; !ok || e.t.Priority > p {
+				c.bankHit[key] = e.t.Priority
+			}
+		}
+	}
+}
+
+func (c *Controller) bankKey(loc dram.Location) int {
+	return loc.Rank*c.dram.Config().Geometry.Banks + loc.Bank
+}
+
+// allowPrecharge reports whether a row-aware policy lets e close its
+// bank's open row even though queued transactions still hit it. FR-FCFS
+// never does (open-page); QoS-RB lets an urgent transaction (priority at
+// or above delta) precharge past lower-priority hits, mirroring Policy 2's
+// arbitration rule.
+func (c *Controller) allowPrecharge(e entry) bool {
+	switch c.cfg.Policy {
+	case FRFCFS, QoSRB:
+		hitPrio, ok := c.bankHit[c.bankKey(e.loc)]
+		if !ok {
+			return true
+		}
+		if c.cfg.Policy == FRFCFS {
+			return false
+		}
+		return e.t.Priority >= c.cfg.Delta && e.t.Priority > hitPrio
+	default:
+		return true
+	}
+}
+
+// issuable reports whether e's next command can issue at now. Aged
+// transactions bypass the open-page precharge guard so the backlog always
+// clears.
+func (c *Controller) issuable(e entry, now sim.Cycle, aged bool) bool {
+	if owner := c.dram.ReservedBy(e.loc); owner != 0 && owner != e.t.ID {
+		return false
+	}
+	state, row := c.dram.State(e.loc)
+	switch {
+	case state == dram.BankOpen && row == e.loc.Row:
+		if e.t.Kind == txn.Read {
+			return c.dram.CanRead(e.loc, now)
+		}
+		return c.dram.CanWrite(e.loc, now)
+	case state == dram.BankOpen:
+		if !aged && !c.allowPrecharge(e) {
+			return false
+		}
+		return c.dram.CanPrecharge(e.loc, now)
+	default:
+		return c.dram.CanActivate(e.loc, now)
+	}
+}
+
+// issue performs e's next command at cycle now.
+func (c *Controller) issue(best candidate, now sim.Cycle) {
+	e := best.e
+	state, row := c.dram.State(e.loc)
+	switch {
+	case state == dram.BankOpen && row == e.loc.Row:
+		c.issueCAS(e, now)
+	case state == dram.BankOpen:
+		c.dram.Reserve(e.loc, e.t.ID)
+		c.dram.Precharge(e.loc, now)
+		c.needed[e.t.ID] = neededPre
+	default:
+		c.dram.Reserve(e.loc, e.t.ID)
+		c.dram.Activate(e.loc, now)
+		if c.needed[e.t.ID] != neededPre {
+			c.needed[e.t.ID] = neededAct
+		}
+	}
+}
+
+func (c *Controller) issueCAS(e entry, now sim.Cycle) {
+	var done sim.Cycle
+	if e.t.Kind == txn.Read {
+		done = c.dram.Read(e.loc, now)
+		c.stats.ServedReads++
+	} else {
+		done = c.dram.Write(e.loc, now)
+		c.stats.ServedWrites++
+	}
+	c.dram.Release(e.loc, e.t.ID)
+	c.queues[e.t.Class].remove(e.t.ID)
+
+	switch c.needed[e.t.ID] {
+	case neededPre:
+		c.stats.RowConflicts++
+	case neededAct:
+		c.stats.RowMisses++
+	default:
+		c.stats.RowHits++
+	}
+	delete(c.needed, e.t.ID)
+
+	c.stats.Served++
+	c.stats.PerClass[e.t.Class]++
+	if c.cfg.AgingT > 0 && now >= e.t.Enqueue+c.cfg.AgingT {
+		c.stats.AgedServes++
+	}
+	// Advance the round-robin pointer past the class just served.
+	c.rrPtr = txn.Class((int(e.t.Class) + 1) % txn.NumClasses)
+
+	if c.OnComplete != nil {
+		c.OnComplete(e.t, done)
+	}
+}

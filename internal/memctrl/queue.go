@@ -1,0 +1,69 @@
+// Package memctrl implements the QoS-aware memory controller: five class
+// transaction queues per channel (Table 1: 42 entries total), a
+// command-level scheduler with per-bank reservations, starvation aging
+// (Section 3.3, T = 10000 cycles) and the six arbitration policies the
+// paper evaluates — FCFS, round-robin, FR-FCFS, the frame-rate-based QoS
+// baseline, the priority-based QoS policy (Policy 1) and the priority-based
+// row-buffer optimizing policy (Policy 2, threshold delta).
+package memctrl
+
+import (
+	"fmt"
+
+	"sara/internal/dram"
+	"sara/internal/txn"
+)
+
+// entry is a queued transaction plus its decoded DRAM coordinate.
+type entry struct {
+	t   *txn.Transaction
+	loc dram.Location
+}
+
+// classQueue is one of the five transaction queues.
+type classQueue struct {
+	class   txn.Class
+	cap     int
+	entries []entry
+}
+
+func (q *classQueue) full() bool { return len(q.entries) >= q.cap }
+
+func (q *classQueue) push(e entry) {
+	if q.full() {
+		panic(fmt.Sprintf("memctrl: queue %s overflow", q.class))
+	}
+	q.entries = append(q.entries, e)
+}
+
+// remove deletes the entry holding transaction id, preserving order.
+func (q *classQueue) remove(id uint64) {
+	for i := range q.entries {
+		if q.entries[i].t.ID == id {
+			copy(q.entries[i:], q.entries[i+1:])
+			q.entries[len(q.entries)-1] = entry{}
+			q.entries = q.entries[:len(q.entries)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("memctrl: remove of unknown txn %d", id))
+}
+
+// QueueCaps is the per-class capacity split. The paper's controller has 42
+// entries across 5 queues; DefaultQueueCaps apportions them.
+type QueueCaps [txn.NumClasses]int
+
+// DefaultQueueCaps returns the split used in the evaluation: CPU 8, GPU 8,
+// DSP 6, media 12, system 8 (total 42).
+func DefaultQueueCaps() QueueCaps {
+	return QueueCaps{8, 8, 6, 12, 8}
+}
+
+// Total reports the summed capacity.
+func (c QueueCaps) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,305 @@
+// Package noc models the on-chip network that carries memory transactions
+// from the DMAs to the memory controllers: routers with per-input FIFO
+// ports, one-packet-per-output switch allocation per cycle, credit-based
+// backpressure into the downstream sink, and pluggable arbitration
+// policies (FCFS, round-robin, priority-based with round-robin tiebreak,
+// and the frame-rate-urgency baseline).
+//
+// The evaluated topology (built by internal/core) is a two-level tree
+// matching Fig. 1: media cores and system cores aggregate through their
+// own routers, which join the CPU, GPU and DSP at a root router with one
+// output per DRAM channel. The response path is a fixed-latency pipe
+// handled by the SoC layer, since the figures the paper reports are
+// insensitive to return-path contention.
+package noc
+
+import (
+	"fmt"
+
+	"sara/internal/sim"
+	"sara/internal/txn"
+)
+
+// ArbKind selects a router's switch-allocation policy.
+type ArbKind uint8
+
+const (
+	// ArbFCFS grants the input whose head packet arrived first.
+	ArbFCFS ArbKind = iota
+	// ArbRR grants inputs in round-robin order.
+	ArbRR
+	// ArbPriority grants the highest-priority head, round-robin on ties.
+	ArbPriority
+	// ArbFrameRate grants urgent media packets first, then FCFS.
+	ArbFrameRate
+)
+
+// String returns the arbitration policy name.
+func (a ArbKind) String() string {
+	switch a {
+	case ArbFCFS:
+		return "fcfs"
+	case ArbRR:
+		return "rr"
+	case ArbPriority:
+		return "priority"
+	case ArbFrameRate:
+		return "framerate"
+	}
+	return fmt.Sprintf("arb(%d)", uint8(a))
+}
+
+// Params are the network-wide knobs.
+type Params struct {
+	// PortDepth is the FIFO depth of each router input port.
+	PortDepth int
+	// HopLatency is the cycles a packet spends traversing one link
+	// before it becomes eligible for arbitration at the next router.
+	HopLatency sim.Cycle
+	// RespLatency is the fixed return-path delay from memory controller
+	// back to the DMA.
+	RespLatency sim.Cycle
+	// Arb is the switch-allocation policy of every router.
+	Arb ArbKind
+	// AgingT serves any packet that has waited at least this long at one
+	// router ahead of policy order, preventing starvation under priority
+	// arbitration. Zero disables aging.
+	AgingT sim.Cycle
+}
+
+// DefaultParams returns the evaluation settings: 16-deep ports, 2-cycle
+// hops, 12-cycle response path, aging at the paper's T. The port depth
+// matters for the baselines: deep FIFOs let a flooding engine accumulate
+// old packets that dominate FCFS (oldest-first) arbitration, which is how
+// high-bandwidth cores overwhelm others on a shared interconnect.
+func DefaultParams() Params {
+	return Params{PortDepth: 16, HopLatency: 2, RespLatency: 12, Arb: ArbPriority, AgingT: 10000}
+}
+
+// packet is a transaction in flight through one router.
+type packet struct {
+	t       *txn.Transaction
+	readyAt sim.Cycle // when it finishes the incoming link
+	arrived sim.Cycle // when it entered this router's port (for FCFS/aging)
+}
+
+// Port is a router input FIFO.
+type Port struct {
+	fifo  []packet
+	depth int
+}
+
+// NewPort returns a port with the given FIFO depth.
+func NewPort(depth int) *Port {
+	if depth <= 0 {
+		panic("noc: port depth must be positive")
+	}
+	return &Port{depth: depth}
+}
+
+// CanAccept reports whether the FIFO has space.
+func (p *Port) CanAccept() bool { return len(p.fifo) < p.depth }
+
+// Push appends t, becoming arbitrable at readyAt.
+func (p *Port) Push(t *txn.Transaction, arrived, readyAt sim.Cycle) {
+	if !p.CanAccept() {
+		panic("noc: push to full port")
+	}
+	p.fifo = append(p.fifo, packet{t: t, readyAt: readyAt, arrived: arrived})
+}
+
+// Len reports the queued packet count.
+func (p *Port) Len() int { return len(p.fifo) }
+
+func (p *Port) head() (packet, bool) {
+	if len(p.fifo) == 0 {
+		return packet{}, false
+	}
+	return p.fifo[0], true
+}
+
+func (p *Port) pop() packet {
+	pk := p.fifo[0]
+	copy(p.fifo, p.fifo[1:])
+	p.fifo[len(p.fifo)-1] = packet{}
+	p.fifo = p.fifo[:len(p.fifo)-1]
+	return pk
+}
+
+// Sink is the downstream consumer of a router output: either the next
+// router's input port or a memory-controller queue.
+type Sink interface {
+	// CanAccept reports whether the sink can take t this cycle.
+	CanAccept(t *txn.Transaction) bool
+	// Accept consumes t at cycle now.
+	Accept(t *txn.Transaction, now sim.Cycle)
+}
+
+// PortSink adapts a router input port into a Sink for the upstream router,
+// applying the link's hop latency.
+type PortSink struct {
+	Port *Port
+	Hop  sim.Cycle
+}
+
+// CanAccept reports whether the port FIFO has space.
+func (s PortSink) CanAccept(*txn.Transaction) bool { return s.Port.CanAccept() }
+
+// Accept pushes t into the port; it becomes arbitrable after the hop.
+func (s PortSink) Accept(t *txn.Transaction, now sim.Cycle) {
+	s.Port.Push(t, now, now+s.Hop)
+}
+
+// Router arbitrates its input ports onto one or more output sinks. Packets
+// are routed to an output by the Route function (e.g. by DRAM channel at
+// the root router; single-output aggregation routers ignore it).
+type Router struct {
+	name    string
+	params  Params
+	ports   []*Port
+	outputs []Sink
+	// Route maps a transaction to an output index.
+	route func(*txn.Transaction) int
+	rrPtr int
+
+	// stats
+	forwarded uint64
+	stalls    uint64 // cycles an arbitrable head existed but no grant fit
+}
+
+// NewRouter builds a router with nports input ports. route may be nil when
+// there is exactly one output.
+func NewRouter(name string, params Params, nports int, outputs []Sink, route func(*txn.Transaction) int) *Router {
+	if nports <= 0 || len(outputs) == 0 {
+		panic("noc: router needs ports and outputs")
+	}
+	if route == nil {
+		if len(outputs) != 1 {
+			panic("noc: nil route with multiple outputs")
+		}
+		route = func(*txn.Transaction) int { return 0 }
+	}
+	r := &Router{name: name, params: params, outputs: outputs, route: route}
+	r.ports = make([]*Port, nports)
+	for i := range r.ports {
+		r.ports[i] = NewPort(params.PortDepth)
+	}
+	return r
+}
+
+// Name returns the router's label.
+func (r *Router) Name() string { return r.name }
+
+// Port returns input port i, for wiring upstream producers.
+func (r *Router) Port(i int) *Port { return r.ports[i] }
+
+// Forwarded reports the number of packets granted so far.
+func (r *Router) Forwarded() uint64 { return r.forwarded }
+
+// Stalls reports cycles where a ready head existed but nothing was granted.
+func (r *Router) Stalls() uint64 { return r.stalls }
+
+// Tick performs one cycle of switch allocation: at most one grant per
+// output, at most one pop per input.
+func (r *Router) Tick(now sim.Cycle) {
+	granted := false
+	ready := false
+	for out := range r.outputs {
+		idx := r.selectFor(out, now)
+		if idx < 0 {
+			continue
+		}
+		ready = true
+		pk := r.ports[idx].pop()
+		r.outputs[out].Accept(pk.t, now)
+		r.forwarded++
+		granted = true
+		r.rrPtr = (idx + 1) % len(r.ports)
+	}
+	if !granted {
+		// Count a stall only if some head was ready but blocked downstream.
+		for _, p := range r.ports {
+			if pk, ok := p.head(); ok && pk.readyAt <= now {
+				ready = true
+				break
+			}
+		}
+		if ready {
+			r.stalls++
+		}
+	}
+}
+
+// selectFor picks the input port to grant for output out, or -1.
+func (r *Router) selectFor(out int, now sim.Cycle) int {
+	bestIdx := -1
+	var best packet
+	// Aging pass: any over-age head is served oldest-first.
+	if r.params.AgingT > 0 {
+		for i, p := range r.ports {
+			pk, ok := p.head()
+			if !ok || pk.readyAt > now || r.route(pk.t) != out {
+				continue
+			}
+			if now < pk.arrived+r.params.AgingT {
+				continue
+			}
+			if !r.outputs[out].CanAccept(pk.t) {
+				continue
+			}
+			if bestIdx < 0 || pk.arrived < best.arrived || (pk.arrived == best.arrived && pk.t.ID < best.t.ID) {
+				bestIdx, best = i, pk
+			}
+		}
+		if bestIdx >= 0 {
+			return bestIdx
+		}
+	}
+	for i, p := range r.ports {
+		pk, ok := p.head()
+		if !ok || pk.readyAt > now || r.route(pk.t) != out {
+			continue
+		}
+		if !r.outputs[out].CanAccept(pk.t) {
+			continue
+		}
+		if bestIdx < 0 || r.better(pk, i, best, bestIdx, now) {
+			bestIdx, best = i, pk
+		}
+	}
+	return bestIdx
+}
+
+// better reports whether candidate (pk, idx) beats the incumbent under the
+// router's arbitration policy.
+func (r *Router) better(pk packet, idx int, inc packet, incIdx int, now sim.Cycle) bool {
+	switch r.params.Arb {
+	case ArbFCFS:
+		return fcfsBefore(pk, inc)
+	case ArbRR:
+		return r.rrDist(idx) < r.rrDist(incIdx)
+	case ArbPriority:
+		if pk.t.Priority != inc.t.Priority {
+			return pk.t.Priority > inc.t.Priority
+		}
+		return r.rrDist(idx) < r.rrDist(incIdx)
+	case ArbFrameRate:
+		if pk.t.Urgent != inc.t.Urgent {
+			return pk.t.Urgent
+		}
+		return fcfsBefore(pk, inc)
+	default:
+		panic("noc: unknown arbitration policy")
+	}
+}
+
+func fcfsBefore(a, b packet) bool {
+	if a.arrived != b.arrived {
+		return a.arrived < b.arrived
+	}
+	return a.t.ID < b.t.ID
+}
+
+func (r *Router) rrDist(idx int) int {
+	return (idx - r.rrPtr + len(r.ports)) % len(r.ports)
+}

@@ -1,0 +1,189 @@
+package noc
+
+import (
+	"testing"
+
+	"sara/internal/sim"
+	"sara/internal/txn"
+)
+
+// collectSink records accepted transactions and can simulate backpressure.
+type collectSink struct {
+	got  []*txn.Transaction
+	full bool
+}
+
+func (s *collectSink) CanAccept(*txn.Transaction) bool { return !s.full }
+func (s *collectSink) Accept(t *txn.Transaction, now sim.Cycle) {
+	s.got = append(s.got, t)
+}
+
+func params(arb ArbKind) Params {
+	return Params{PortDepth: 4, HopLatency: 0, RespLatency: 12, Arb: arb, AgingT: 0}
+}
+
+func tx(id uint64, prio txn.Priority) *txn.Transaction {
+	return &txn.Transaction{ID: id, Priority: prio}
+}
+
+func TestPortBackpressure(t *testing.T) {
+	p := NewPort(2)
+	p.Push(tx(1, 0), 0, 0)
+	p.Push(tx(2, 0), 0, 0)
+	if p.CanAccept() {
+		t.Fatal("full port accepts")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push to full port did not panic")
+		}
+	}()
+	p.Push(tx(3, 0), 0, 0)
+}
+
+func TestRouterForwardsOnePerCycle(t *testing.T) {
+	sink := &collectSink{}
+	r := NewRouter("t", params(ArbFCFS), 2, []Sink{sink}, nil)
+	r.Port(0).Push(tx(1, 0), 0, 0)
+	r.Port(1).Push(tx(2, 0), 1, 1)
+	r.Tick(1)
+	if len(sink.got) != 1 {
+		t.Fatalf("forwarded %d packets in one cycle, want 1", len(sink.got))
+	}
+	r.Tick(2)
+	if len(sink.got) != 2 {
+		t.Fatalf("forwarded %d packets after two cycles, want 2", len(sink.got))
+	}
+}
+
+func TestHopLatencyGatesArbitration(t *testing.T) {
+	sink := &collectSink{}
+	pr := params(ArbFCFS)
+	pr.HopLatency = 3
+	r := NewRouter("t", pr, 1, []Sink{sink}, nil)
+	PortSink{Port: r.Port(0), Hop: pr.HopLatency}.Accept(tx(1, 0), 0)
+	r.Tick(1)
+	r.Tick(2)
+	if len(sink.got) != 0 {
+		t.Fatal("packet forwarded before finishing its hop")
+	}
+	r.Tick(3)
+	if len(sink.got) != 1 {
+		t.Fatal("packet not forwarded after the hop")
+	}
+}
+
+func TestFCFSArbitrationOldestHeadWins(t *testing.T) {
+	sink := &collectSink{}
+	r := NewRouter("t", params(ArbFCFS), 2, []Sink{sink}, nil)
+	r.Port(1).Push(tx(2, 0), 0, 0) // older
+	r.Port(0).Push(tx(1, 0), 5, 5)
+	r.Tick(6)
+	if sink.got[0].ID != 2 {
+		t.Fatalf("FCFS granted %d first, want the older head 2", sink.got[0].ID)
+	}
+}
+
+func TestPriorityArbitration(t *testing.T) {
+	sink := &collectSink{}
+	r := NewRouter("t", params(ArbPriority), 3, []Sink{sink}, nil)
+	r.Port(0).Push(tx(1, 2), 0, 0)
+	r.Port(1).Push(tx(2, 7), 1, 1)
+	r.Port(2).Push(tx(3, 5), 2, 2)
+	for i := sim.Cycle(3); len(sink.got) < 3; i++ {
+		r.Tick(i)
+	}
+	if sink.got[0].ID != 2 || sink.got[1].ID != 3 || sink.got[2].ID != 1 {
+		t.Fatalf("priority order %v, want [2 3 1]", ids(sink.got))
+	}
+}
+
+func TestRRArbitrationFairness(t *testing.T) {
+	sink := &collectSink{}
+	r := NewRouter("t", params(ArbRR), 2, []Sink{sink}, nil)
+	// Keep both ports backlogged; grants must alternate.
+	for i := 0; i < 4; i++ {
+		r.Port(0).Push(tx(uint64(10+i), 0), 0, 0)
+		r.Port(1).Push(tx(uint64(20+i), 0), 0, 0)
+	}
+	for i := sim.Cycle(0); len(sink.got) < 8; i++ {
+		r.Tick(i)
+	}
+	for i := 1; i < 8; i++ {
+		if (sink.got[i].ID < 20) == (sink.got[i-1].ID < 20) {
+			t.Fatalf("RR grants did not alternate: %v", ids(sink.got))
+		}
+	}
+}
+
+func TestFrameRateArbitrationUrgentFirst(t *testing.T) {
+	sink := &collectSink{}
+	r := NewRouter("t", params(ArbFrameRate), 2, []Sink{sink}, nil)
+	r.Port(0).Push(tx(1, 0), 0, 0)
+	urgent := tx(2, 0)
+	urgent.Urgent = true
+	r.Port(1).Push(urgent, 5, 5)
+	r.Tick(6)
+	if sink.got[0].ID != 2 {
+		t.Fatal("urgent packet did not win frame-rate arbitration")
+	}
+}
+
+func TestBlockedDownstreamStalls(t *testing.T) {
+	sink := &collectSink{full: true}
+	r := NewRouter("t", params(ArbFCFS), 1, []Sink{sink}, nil)
+	r.Port(0).Push(tx(1, 0), 0, 0)
+	r.Tick(1)
+	if len(sink.got) != 0 {
+		t.Fatal("forwarded into a full sink")
+	}
+	if r.Stalls() != 1 {
+		t.Fatalf("stalls %d, want 1", r.Stalls())
+	}
+	sink.full = false
+	r.Tick(2)
+	if len(sink.got) != 1 {
+		t.Fatal("did not forward once the sink freed up")
+	}
+	if r.Forwarded() != 1 {
+		t.Fatalf("forwarded counter %d, want 1", r.Forwarded())
+	}
+}
+
+func TestMultiOutputRouting(t *testing.T) {
+	s0, s1 := &collectSink{}, &collectSink{}
+	route := func(t *txn.Transaction) int { return int(t.Addr & 1) }
+	r := NewRouter("root", params(ArbFCFS), 2, []Sink{s0, s1}, route)
+	a := tx(1, 0)
+	a.Addr = 0
+	b := tx(2, 0)
+	b.Addr = 1
+	r.Port(0).Push(a, 0, 0)
+	r.Port(1).Push(b, 0, 0)
+	// Both outputs can grant in the same cycle.
+	r.Tick(1)
+	if len(s0.got) != 1 || len(s1.got) != 1 {
+		t.Fatalf("per-output grants %d/%d, want 1/1", len(s0.got), len(s1.got))
+	}
+}
+
+func TestAgingBeatsPriority(t *testing.T) {
+	sink := &collectSink{}
+	pr := params(ArbPriority)
+	pr.AgingT = 50
+	r := NewRouter("t", pr, 2, []Sink{sink}, nil)
+	r.Port(0).Push(tx(1, 0), 0, 0) // old, low priority
+	r.Port(1).Push(tx(2, 7), 60, 60)
+	r.Tick(60)
+	if sink.got[0].ID != 1 {
+		t.Fatal("over-age packet lost to priority")
+	}
+}
+
+func ids(ts []*txn.Transaction) []uint64 {
+	var out []uint64
+	for _, t := range ts {
+		out = append(out, t.ID)
+	}
+	return out
+}

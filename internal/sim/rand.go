@@ -1,0 +1,71 @@
+package sim
+
+import "math"
+
+// Rand is a small deterministic pseudo-random generator (splitmix64).
+// Every traffic source owns its own Rand derived from the system seed, so
+// adding or removing a core never perturbs the streams of the others —
+// a property the reproducibility tests rely on.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Fork derives an independent stream labeled by id. Streams with different
+// ids (or from different parents) are statistically independent.
+func (r *Rand) Fork(id uint64) *Rand {
+	// Mix the id through one splitmix64 round of the parent state so forks
+	// of forks stay decorrelated.
+	return NewRand(mix64(r.state ^ mix64(id+0x9e3779b97f4a7c15)))
+}
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with mean m,
+// i.e. the gap between events of a Bernoulli process. It is used for
+// sporadic (DSP/audio-like) inter-arrival times. The result is at least 1.
+func (r *Rand) Geometric(m float64) uint64 {
+	if m <= 1 {
+		return 1
+	}
+	p := 1.0 / m
+	// Inverse-CDF sampling; u in (0,1].
+	u := 1.0 - r.Float64()
+	return 1 + uint64(math.Log(u)/math.Log(1.0-p))
+}

@@ -1,0 +1,132 @@
+// Package sim provides the cycle-driven simulation kernel used by every
+// other subsystem: a cycle counter, a deterministic random-number generator,
+// and a lightweight event scheduler for things that happen at known future
+// cycles (frame boundaries, adaptation ticks, aging sweeps).
+//
+// One simulator cycle corresponds to one DRAM command-clock cycle. All
+// components tick in this single clock domain; cross-domain effects (e.g.
+// the LCD panel draining its read buffer in wall-clock time) are expressed
+// as rates converted to bytes-per-cycle at configuration time.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in DRAM command-clock cycles.
+type Cycle uint64
+
+// Ticker is a component that advances by one cycle at a time.
+type Ticker interface {
+	// Tick advances the component to cycle now. The kernel calls Tick
+	// exactly once per cycle, in registration order.
+	Tick(now Cycle)
+}
+
+// TickFunc adapts a function to the Ticker interface.
+type TickFunc func(now Cycle)
+
+// Tick calls f(now).
+func (f TickFunc) Tick(now Cycle) { f(now) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Cycle
+	seq uint64 // tie-break so same-cycle events fire in schedule order
+	fn  func(now Cycle)
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel owns the clock, the ordered ticker list and the event queue.
+// The zero value is ready to use.
+type Kernel struct {
+	now     Cycle
+	tickers []Ticker
+	events  eventQueue
+	seq     uint64
+	started bool
+}
+
+// Now reports the current cycle.
+func (k *Kernel) Now() Cycle { return k.now }
+
+// Register appends t to the per-cycle tick list. Components are ticked in
+// registration order, which the SoC assembly uses to realize the pipeline
+// order sources -> DMAs -> NoC -> MC -> DRAM -> responses -> adapters.
+// Register panics if the simulation has already started, because inserting
+// a ticker mid-run would silently skip its earlier cycles.
+func (k *Kernel) Register(t Ticker) {
+	if k.started {
+		panic("sim: Register after simulation started")
+	}
+	k.tickers = append(k.tickers, t)
+}
+
+// At schedules fn to run at cycle at, before that cycle's tickers. If at is
+// in the past the event fires on the next Step.
+func (k *Kernel) At(at Cycle, fn func(now Cycle)) {
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (k *Kernel) After(delay Cycle, fn func(now Cycle)) {
+	k.At(k.now+delay, fn)
+}
+
+// Every schedules fn at period, 2*period, ... relative to the current cycle.
+// It reschedules itself forever; the run simply ends when Run's horizon is
+// reached.
+func (k *Kernel) Every(period Cycle, fn func(now Cycle)) {
+	if period == 0 {
+		panic("sim: Every with zero period")
+	}
+	var rearm func(now Cycle)
+	rearm = func(now Cycle) {
+		fn(now)
+		k.At(now+period, rearm)
+	}
+	k.At(k.now+period, rearm)
+}
+
+// Step advances the simulation by exactly one cycle: due events first, then
+// every registered ticker.
+func (k *Kernel) Step() {
+	k.started = true
+	for len(k.events) > 0 && k.events[0].at <= k.now {
+		e := heap.Pop(&k.events).(*event)
+		e.fn(k.now)
+	}
+	for _, t := range k.tickers {
+		t.Tick(k.now)
+	}
+	k.now++
+}
+
+// Run advances the simulation until the clock reaches horizon (exclusive).
+func (k *Kernel) Run(horizon Cycle) {
+	for k.now < horizon {
+		k.Step()
+	}
+}
+
+// RunFor advances the simulation by n cycles.
+func (k *Kernel) RunFor(n Cycle) { k.Run(k.now + n) }

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelTickOrder(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Register(TickFunc(func(Cycle) { order = append(order, i) }))
+	}
+	k.Step()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("tick order %v, want [0 1 2]", order)
+	}
+}
+
+func TestKernelRegisterAfterStartPanics(t *testing.T) {
+	var k Kernel
+	k.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Register after start")
+		}
+	}()
+	k.Register(TickFunc(func(Cycle) {}))
+}
+
+func TestKernelEventsFireInOrder(t *testing.T) {
+	var k Kernel
+	var fired []Cycle
+	k.At(5, func(now Cycle) { fired = append(fired, now) })
+	k.At(2, func(now Cycle) { fired = append(fired, now) })
+	k.At(2, func(now Cycle) { fired = append(fired, now+100) }) // same-cycle tiebreak by schedule order
+	k.Run(10)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if fired[0] != 2 || fired[1] != 102 || fired[2] != 5 {
+		t.Fatalf("fire order %v, want [2 102 5]", fired)
+	}
+}
+
+func TestKernelEventBeforeTickers(t *testing.T) {
+	var k Kernel
+	var log []string
+	k.Register(TickFunc(func(Cycle) { log = append(log, "tick") }))
+	k.At(0, func(Cycle) { log = append(log, "event") })
+	k.Step()
+	if log[0] != "event" || log[1] != "tick" {
+		t.Fatalf("order %v, want event before tick", log)
+	}
+}
+
+func TestKernelAfterAndEvery(t *testing.T) {
+	var k Kernel
+	var at []Cycle
+	k.After(3, func(now Cycle) { at = append(at, now) })
+	k.Every(4, func(now Cycle) { at = append(at, now) })
+	k.Run(13)
+	want := []Cycle{3, 4, 8, 12}
+	if len(at) != len(want) {
+		t.Fatalf("fired at %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	}
+}
+
+func TestKernelEveryZeroPanics(t *testing.T) {
+	var k Kernel
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Every(0)")
+		}
+	}()
+	k.Every(0, func(Cycle) {})
+}
+
+func TestPastEventFiresNextStep(t *testing.T) {
+	var k Kernel
+	k.Run(10)
+	fired := false
+	k.At(3, func(Cycle) { fired = true })
+	k.Step()
+	if !fired {
+		t.Fatal("past-due event did not fire on next step")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	r := NewRand(7)
+	a, b := r.Fork(1), r.Fork(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked streams collided %d times", same)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Intn(0)")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandGeometricMean(t *testing.T) {
+	r := NewRand(11)
+	const mean = 50.0
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := r.Geometric(mean)
+		if g < 1 {
+			t.Fatalf("geometric sample %d below 1", g)
+		}
+		sum += float64(g)
+	}
+	got := sum / n
+	if got < 0.9*mean || got > 1.1*mean {
+		t.Fatalf("geometric mean %.1f, want ~%.0f", got, mean)
+	}
+}
+
+func TestRandGeometricDegenerate(t *testing.T) {
+	r := NewRand(1)
+	if g := r.Geometric(0.5); g != 1 {
+		t.Fatalf("Geometric(0.5) = %d, want 1", g)
+	}
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(3)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) frequency %.3f, want ~0.30", frac)
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sara/internal/sim"
+)
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Primed() {
+		t.Fatal("fresh EWMA claims primed")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample %v, want 10", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Fatalf("EWMA %v, want 15", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestCounterRate(t *testing.T) {
+	c := NewCounter(1000, 10)
+	for now := sim.Cycle(0); now < 2000; now += 10 {
+		c.Add(now, 10) // 1 unit/cycle
+	}
+	rate := c.Rate(2000)
+	if math.Abs(rate-1.0) > 0.15 {
+		t.Fatalf("rate %v, want ~1.0", rate)
+	}
+	// After a long silent gap the window empties.
+	if total := c.Total(4001); total != 0 {
+		t.Fatalf("stale total %v, want 0", total)
+	}
+}
+
+func TestCounterEarlyRateUnbiased(t *testing.T) {
+	c := NewCounter(10000, 10)
+	c.Add(100, 200) // 2/cycle over the first 100 cycles
+	rate := c.Rate(100)
+	if math.Abs(rate-2.0) > 0.01 {
+		t.Fatalf("early rate %v, want 2.0 (divide by elapsed, not window)", rate)
+	}
+}
+
+func TestCounterConservationProperty(t *testing.T) {
+	// Property: within one window, Total equals the sum of amounts added.
+	f := func(amounts []uint8) bool {
+		c := NewCounter(4096, 16)
+		var sum float64
+		now := sim.Cycle(0)
+		for _, a := range amounts {
+			if len(amounts) > 16 {
+				return true
+			}
+			c.Add(now, float64(a))
+			sum += float64(a)
+			now += 10
+		}
+		return math.Abs(c.Total(now)-sum) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCounter(10, 20)
+}
+
+func TestSeriesSummaries(t *testing.T) {
+	s := &Series{Name: "x"}
+	for i, v := range []float64{3, 1, 4, 1, 5} {
+		s.Append(sim.Cycle(i), v)
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max %v/%v, want 1/5", s.Min(), s.Max())
+	}
+	if math.Abs(s.Mean()-2.8) > 1e-9 {
+		t.Fatalf("mean %v, want 2.8", s.Mean())
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Fatalf("median %v, want 3", q)
+	}
+	if f := s.FractionBelow(3); f != 0.4 {
+		t.Fatalf("fraction below 3 = %v, want 0.4", f)
+	}
+	empty := &Series{}
+	if !math.IsInf(empty.Min(), 1) || !math.IsNaN(empty.Mean()) {
+		t.Fatal("empty series summaries wrong")
+	}
+}
+
+func TestLevelHistogram(t *testing.T) {
+	h := NewLevelHistogram(8)
+	h.Add(0, 90)
+	h.Add(7, 10)
+	if h.Fraction(0) != 0.9 || h.Fraction(7) != 0.1 {
+		t.Fatalf("fractions %v/%v, want 0.9/0.1", h.Fraction(0), h.Fraction(7))
+	}
+	if h.Levels() != 8 || h.Total() != 100 {
+		t.Fatalf("levels/total %d/%d", h.Levels(), h.Total())
+	}
+}
+
+func TestLevelHistogramRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLevelHistogram(4).Add(4, 1)
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	a.Append(0, 1)
+	a.Append(10, 2)
+	b.Append(0, 3)
+	b.Append(10, 4)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,a,b\n0,1,3\n10,2,4\n"
+	if sb.String() != want {
+		t.Fatalf("CSV %q, want %q", sb.String(), want)
+	}
+	// Mismatched lengths error out.
+	b.Append(20, 5)
+	if err := WriteCSV(&sb, a, b); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}

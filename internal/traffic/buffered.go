@@ -1,0 +1,173 @@
+package traffic
+
+import (
+	"sara/internal/dma"
+	"sara/internal/sim"
+	"sara/internal/txn"
+)
+
+// DisplaySource models the display controller's read path: an LCD panel
+// drains a read buffer at a constant rate while the DMA refills it from
+// DRAM so the buffer never runs empty (Section 3.2, Eqn. 3). Health is the
+// refill rate versus the panel's read rate, observable through the buffer
+// occupancy level.
+type DisplaySource struct {
+	name   string
+	engine *dma.Engine
+
+	// DrainPerCycle is the panel's constant read rate in bytes/cycle.
+	DrainPerCycle float64
+	// BufBytes is the read buffer capacity.
+	BufBytes float64
+	// ReqSize is the refill transaction size.
+	ReqSize uint32
+
+	str *stream
+
+	occupancy     float64
+	inflightBytes float64
+	drainCarry    float64
+
+	// UnderrunCycles counts cycles the panel wanted data from an empty
+	// buffer — each one is a visible artifact on a real panel.
+	UnderrunCycles uint64
+	// RefilledBytes is the cumulative refill volume.
+	RefilledBytes uint64
+}
+
+// NewDisplaySource builds a display refill source over region r. The
+// buffer starts at the 50% initial level the paper describes.
+func NewDisplaySource(name string, e *dma.Engine, r Region,
+	drainPerCycle, bufBytes float64, reqSize uint32) *DisplaySource {
+	s := &DisplaySource{
+		name:          name,
+		engine:        e,
+		DrainPerCycle: drainPerCycle,
+		BufBytes:      bufBytes,
+		ReqSize:       reqSize,
+		str:           newStream(r, reqSize),
+		occupancy:     bufBytes / 2,
+	}
+	e.OnComplete(func(t *txn.Transaction, now sim.Cycle) {
+		s.inflightBytes -= float64(t.Size)
+		s.occupancy += float64(t.Size)
+		if s.occupancy > s.BufBytes {
+			s.occupancy = s.BufBytes
+		}
+		s.RefilledBytes += uint64(t.Size)
+	})
+	return s
+}
+
+// Name returns the source label.
+func (s *DisplaySource) Name() string { return s.name }
+
+// Occupancy reports the buffer fill fraction for the occupancy meter.
+func (s *DisplaySource) Occupancy() float64 {
+	if s.BufBytes == 0 {
+		return 0
+	}
+	return s.occupancy / s.BufBytes
+}
+
+// Tick drains the panel side and issues refill reads to keep the buffer
+// full, accounting for refills already in flight.
+func (s *DisplaySource) Tick(now sim.Cycle) {
+	s.drainCarry += s.DrainPerCycle
+	if s.drainCarry >= 1 {
+		take := float64(uint64(s.drainCarry))
+		s.drainCarry -= take
+		if s.occupancy >= take {
+			s.occupancy -= take
+		} else {
+			s.occupancy = 0
+			s.UnderrunCycles++
+		}
+	}
+	for s.occupancy+s.inflightBytes+float64(s.ReqSize) <= s.BufBytes {
+		if !s.engine.Enqueue(txn.Read, s.str.next(), s.ReqSize) {
+			break
+		}
+		s.inflightBytes += float64(s.ReqSize)
+	}
+}
+
+// CameraSource models the camera front end: the image sensor fills a write
+// buffer at a constant rate and the DMA drains it into DRAM. Health is the
+// DMA's drain rate versus the sensor's fill rate; if the DMA falls behind,
+// the buffer overflows and sensor data is lost.
+type CameraSource struct {
+	name   string
+	engine *dma.Engine
+
+	// FillPerCycle is the sensor's constant write rate in bytes/cycle.
+	FillPerCycle float64
+	// BufBytes is the write buffer capacity.
+	BufBytes float64
+	// ReqSize is the drain transaction size.
+	ReqSize uint32
+
+	str *stream
+
+	occupancy     float64
+	inflightBytes float64
+
+	// OverflowBytes counts sensor bytes dropped because the buffer was full.
+	OverflowBytes float64
+	// DrainedBytes is the cumulative DMA write volume.
+	DrainedBytes uint64
+}
+
+// NewCameraSource builds a camera drain source over region r. The buffer
+// starts at the 50% initial level.
+func NewCameraSource(name string, e *dma.Engine, r Region,
+	fillPerCycle, bufBytes float64, reqSize uint32) *CameraSource {
+	s := &CameraSource{
+		name:         name,
+		engine:       e,
+		FillPerCycle: fillPerCycle,
+		BufBytes:     bufBytes,
+		ReqSize:      reqSize,
+		str:          newStream(r, reqSize),
+		occupancy:    bufBytes / 2,
+	}
+	e.OnComplete(func(t *txn.Transaction, now sim.Cycle) {
+		s.inflightBytes -= float64(t.Size)
+		s.DrainedBytes += uint64(t.Size)
+		// The completed write frees its bytes in the sensor buffer.
+		s.occupancy -= float64(t.Size)
+		if s.occupancy < 0 {
+			s.occupancy = 0
+		}
+	})
+	return s
+}
+
+// Name returns the source label.
+func (s *CameraSource) Name() string { return s.name }
+
+// Occupancy reports the buffer fill fraction.
+func (s *CameraSource) Occupancy() float64 {
+	if s.BufBytes == 0 {
+		return 0
+	}
+	return s.occupancy / s.BufBytes
+}
+
+// Tick fills the sensor side and issues drain writes.
+func (s *CameraSource) Tick(now sim.Cycle) {
+	s.occupancy += s.FillPerCycle
+	if s.occupancy > s.BufBytes {
+		s.OverflowBytes += s.occupancy - s.BufBytes
+		s.occupancy = s.BufBytes
+	}
+	// Drain whatever has accumulated beyond the requests already in
+	// flight; occupancy is decremented when the write completes, so the
+	// in-flight volume must be subtracted from the drainable amount.
+	for s.occupancy-s.inflightBytes >= float64(s.ReqSize) {
+		if !s.engine.Enqueue(txn.Write, s.str.next(), s.ReqSize) {
+			break
+		}
+		s.inflightBytes += float64(s.ReqSize)
+	}
+}

@@ -1,0 +1,80 @@
+package traffic
+
+import (
+	"sara/internal/dma"
+	"sara/internal/sim"
+	"sara/internal/txn"
+)
+
+// CPUSource models the CPU cluster's background cache-miss traffic: a
+// rate-limited stream whose addresses mix short sequential runs (spatial
+// locality of cache-line fills along a miss stream) with random jumps.
+// The CPU has no hard QoS target in the camcorder use case; it provides
+// the realistic background pressure the paper's traffic model includes.
+type CPUSource struct {
+	name   string
+	engine *dma.Engine
+
+	// RatePerCycle is the average demand in bytes/cycle.
+	RatePerCycle float64
+	// ReqSize is the transaction size.
+	ReqSize uint32
+	// ReadFrac is the fraction of requests that are reads.
+	ReadFrac float64
+	// Locality is the probability that the next access continues the
+	// current sequential run instead of jumping to a random address.
+	Locality float64
+
+	rng    *sim.Rand
+	region Region
+	picker kindPicker
+	cursor txn.Addr
+	tokens float64
+}
+
+// NewCPUSource builds a CPU background source over region r.
+func NewCPUSource(name string, e *dma.Engine, rng *sim.Rand, r Region,
+	ratePerCycle float64, reqSize uint32, readFrac, locality float64) *CPUSource {
+	return &CPUSource{
+		name:         name,
+		engine:       e,
+		RatePerCycle: ratePerCycle,
+		ReqSize:      reqSize,
+		ReadFrac:     readFrac,
+		Locality:     locality,
+		rng:          rng,
+		region:       r,
+		picker:       kindPicker{readFrac: readFrac, rng: rng},
+		cursor:       r.Base,
+	}
+}
+
+// Name returns the source label.
+func (s *CPUSource) Name() string { return s.name }
+
+// Tick emits rate-funded requests along the locality-mixed address walk.
+func (s *CPUSource) Tick(now sim.Cycle) {
+	s.tokens += s.RatePerCycle
+	for s.tokens >= float64(s.ReqSize) {
+		addr := s.nextAddr()
+		if !s.engine.Enqueue(s.picker.pick(), addr, s.ReqSize) {
+			if s.tokens > 8*float64(s.ReqSize) {
+				s.tokens = 8 * float64(s.ReqSize)
+			}
+			return
+		}
+		s.tokens -= float64(s.ReqSize)
+	}
+}
+
+func (s *CPUSource) nextAddr() txn.Addr {
+	if s.rng.Bool(s.Locality) {
+		s.cursor += txn.Addr(s.ReqSize)
+		if uint64(s.cursor-s.region.Base)+uint64(s.ReqSize) > s.region.Size {
+			s.cursor = s.region.Base
+		}
+		return s.cursor
+	}
+	s.cursor = randomIn(s.rng, s.region, s.ReqSize)
+	return s.cursor
+}

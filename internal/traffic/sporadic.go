@@ -1,0 +1,135 @@
+package traffic
+
+import (
+	"sara/internal/dma"
+	"sara/internal/sim"
+)
+
+// SporadicSource models latency-sensitive engines like the DSP and audio:
+// individually small, randomly addressed requests at a modest average rate
+// whose value lies entirely in completing quickly (Eqn. 1). Random
+// addressing defeats row-buffer locality, which is what makes these cores
+// vulnerable to FR-FCFS-style bandwidth optimizers (Fig. 9).
+type SporadicSource struct {
+	name   string
+	engine *dma.Engine
+
+	// MeanGap is the average inter-arrival time in cycles.
+	MeanGap float64
+	// ReqSize is the transaction size.
+	ReqSize uint32
+	// ReadFrac is the fraction of requests that are reads.
+	ReadFrac float64
+
+	rng    *sim.Rand
+	region Region
+	picker kindPicker
+
+	nextArrival sim.Cycle
+	dropped     uint64
+}
+
+// NewSporadicSource builds a sporadic source with geometric inter-arrival
+// times of mean meanGap cycles over region r.
+func NewSporadicSource(name string, e *dma.Engine, rng *sim.Rand, r Region,
+	meanGap float64, reqSize uint32, readFrac float64) *SporadicSource {
+	return &SporadicSource{
+		name:        name,
+		engine:      e,
+		MeanGap:     meanGap,
+		ReqSize:     reqSize,
+		ReadFrac:    readFrac,
+		rng:         rng,
+		region:      r,
+		picker:      kindPicker{readFrac: readFrac, rng: rng},
+		nextArrival: sim.Cycle(rng.Geometric(meanGap)),
+	}
+}
+
+// Name returns the source label.
+func (s *SporadicSource) Name() string { return s.name }
+
+// Dropped reports requests lost to a full DMA queue (should stay zero in a
+// well-provisioned system; tests assert it).
+func (s *SporadicSource) Dropped() uint64 { return s.dropped }
+
+// Tick issues a request whenever the arrival process fires.
+func (s *SporadicSource) Tick(now sim.Cycle) {
+	for now >= s.nextArrival {
+		if !s.engine.Enqueue(s.picker.pick(), randomIn(s.rng, s.region, s.ReqSize), s.ReqSize) {
+			s.dropped++
+		}
+		s.nextArrival += sim.Cycle(s.rng.Geometric(s.MeanGap))
+	}
+}
+
+// RateSource models steady bandwidth consumers such as WiFi and USB: a
+// token bucket fills at the target rate and requests are emitted in small
+// bursts (bulk-transfer style), walking a region sequentially.
+type RateSource struct {
+	name   string
+	engine *dma.Engine
+
+	// RatePerCycle is the target bandwidth in bytes/cycle.
+	RatePerCycle float64
+	// ReqSize is the transaction size.
+	ReqSize uint32
+	// BurstReqs groups emissions: tokens are paid out only once a full
+	// burst's worth has accumulated, creating the bursty arrival pattern
+	// of bulk I/O engines. 1 means smooth.
+	BurstReqs int
+	// ReadFrac is the fraction of requests that are reads.
+	ReadFrac float64
+
+	rng    *sim.Rand
+	str    *stream
+	picker kindPicker
+	tokens float64
+}
+
+// NewRateSource builds a rate-driven source over region r.
+func NewRateSource(name string, e *dma.Engine, rng *sim.Rand, r Region,
+	ratePerCycle float64, reqSize uint32, burstReqs int, readFrac float64) *RateSource {
+	if burstReqs <= 0 {
+		burstReqs = 1
+	}
+	return &RateSource{
+		name:         name,
+		engine:       e,
+		RatePerCycle: ratePerCycle,
+		ReqSize:      reqSize,
+		BurstReqs:    burstReqs,
+		ReadFrac:     readFrac,
+		rng:          rng,
+		str:          newStream(r, reqSize),
+		picker:       kindPicker{readFrac: readFrac, rng: rng},
+	}
+}
+
+// Name returns the source label.
+func (s *RateSource) Name() string { return s.name }
+
+// Tick accumulates tokens and emits whole bursts when funded.
+func (s *RateSource) Tick(now sim.Cycle) {
+	s.tokens += s.RatePerCycle
+	burstBytes := float64(s.ReqSize) * float64(s.BurstReqs)
+	for s.tokens >= burstBytes {
+		emitted := 0
+		for i := 0; i < s.BurstReqs; i++ {
+			if !s.engine.Enqueue(s.picker.pick(), s.str.next(), s.ReqSize) {
+				break
+			}
+			emitted++
+		}
+		if emitted == 0 {
+			// DMA saturated: stop accumulating unbounded debt so the
+			// source does not flood the instant space frees up. Cap the
+			// bucket at a few bursts.
+			if s.tokens > 4*burstBytes {
+				s.tokens = 4 * burstBytes
+			}
+			return
+		}
+		s.tokens -= float64(emitted) * float64(s.ReqSize)
+	}
+}

@@ -1,0 +1,53 @@
+package sara_test
+
+import (
+	"testing"
+
+	"sara"
+)
+
+// TestPublicAPIRoundTrip exercises the facade the examples rely on.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := sara.Camcorder(sara.CaseA, sara.WithPolicy(sara.QoS), sara.WithSeed(7))
+	sys := sara.Build(cfg)
+	sys.RunFrames(1)
+	from := sys.Now()
+	sys.RunFrames(1)
+
+	min := sys.MinNPIByCore(from)
+	if len(min) < 9 {
+		t.Fatalf("only %d metered cores, want the Table 2 roster", len(min))
+	}
+	if bw := sys.DRAM().AverageBandwidthGBps(sys.Now()); bw < 5 {
+		t.Fatalf("bandwidth %.2f GB/s implausibly low", bw)
+	}
+	if _, ok := sys.Unit("Display"); !ok {
+		t.Fatal("unit lookup broken through the facade")
+	}
+}
+
+// TestCustomCoreExtension mirrors examples/customcore: adding a core must
+// not require changes anywhere else.
+func TestCustomCoreExtension(t *testing.T) {
+	cfg := sara.Camcorder(sara.CaseA, sara.WithPolicy(sara.QoS))
+	cfg.DMAs = append(cfg.DMAs, sara.DMASpec{
+		Core:  "NPU",
+		Class: 4, // system queue
+		Source: sara.SourceSpec{
+			Kind:            sara.SrcChunk,
+			RateBps:         0.25e9,
+			ReadFrac:        0.8,
+			ChunkPeriodFrac: 0.2,
+			DeadlineFrac:    0.7,
+		},
+	})
+	sys := sara.Build(cfg)
+	sys.RunFrames(2)
+	u, ok := sys.Unit("NPU")
+	if !ok {
+		t.Fatal("NPU unit missing")
+	}
+	if u.Engine.Stats().Completed == 0 {
+		t.Fatal("NPU moved no data")
+	}
+}
