@@ -1,0 +1,42 @@
+package sara_test
+
+import (
+	"testing"
+
+	"sara"
+)
+
+// TestSteadyStateAllocations pins the hot path to (near) zero heap
+// allocations: after warmup, simulating case A allocates nothing per
+// cycle — transactions come from the pool, completion events carry a
+// pointer payload through the intrusive heap, and every scratch buffer is
+// reused. The budget of 2 allocs per 1000 cycles absorbs rare amortized
+// slice growth (time series, queue capacity).
+func TestSteadyStateAllocations(t *testing.T) {
+	sys := sara.Build(sara.Camcorder(sara.CaseA, sara.WithPolicy(sara.QoS)))
+	// Warm up one frame so pools, heaps and FIFOs reach steady capacity.
+	sys.RunFrames(1)
+
+	const cyclesPerRun = 1000
+	allocs := testing.AllocsPerRun(50, func() {
+		sys.Run(cyclesPerRun)
+	})
+	if allocs > 2 {
+		t.Fatalf("steady state allocates %.1f times per %d cycles, want <= 2", allocs, cyclesPerRun)
+	}
+}
+
+// TestSteadyStateAllocationsReference pins the cycle-stepped reference
+// path too: allocation freedom must not depend on idle skipping.
+func TestSteadyStateAllocationsReference(t *testing.T) {
+	sys := sara.Build(sara.Camcorder(sara.CaseA, sara.WithPolicy(sara.QoS)))
+	sys.Kernel().SetIdleSkip(false)
+	sys.RunFrames(1)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		sys.Run(1000)
+	})
+	if allocs > 2 {
+		t.Fatalf("reference path allocates %.1f times per 1000 cycles, want <= 2", allocs)
+	}
+}

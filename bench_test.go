@@ -192,7 +192,10 @@ func BenchmarkAblationAdaptInterval(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw cycles/second of the full
-// case A system, the number a user sizing longer runs cares about.
+// case A system, the number a user sizing longer runs cares about. The
+// event-driven kernel fast-forwards quiescent stretches and the hot path
+// is allocation-free, so this should report 0 allocs/op and a skipped
+// fraction well above zero.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	sys := sara.Build(sara.Camcorder(sara.CaseA))
 	b.ResetTimer()
@@ -200,6 +203,33 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		sys.Run(1000)
 	}
 	b.ReportMetric(1000, "cycles/op")
+	b.ReportMetric(100*float64(sys.Kernel().SkippedCycles())/float64(sys.Now()), "%skipped")
+}
+
+// BenchmarkSimulatorThroughputReference measures the same system with
+// idle skipping disabled — the cycle-stepped reference path the
+// equivalence tests compare against. The gap between this and
+// BenchmarkSimulatorThroughput is what event-driven execution buys.
+func BenchmarkSimulatorThroughputReference(b *testing.B) {
+	sys := sara.Build(sara.Camcorder(sara.CaseA))
+	sys.Kernel().SetIdleSkip(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(1000)
+	}
+	b.ReportMetric(1000, "cycles/op")
+}
+
+// BenchmarkFig5Parallel regenerates Fig. 5 with the runs fanned across
+// GOMAXPROCS workers (the default harness mode), versus the serial
+// BenchmarkFig5 sub-benchmarks above.
+func BenchmarkFig5Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := sara.Fig5(benchOpt())
+		if len(runs) != 4 {
+			b.Fatal("unexpected run count")
+		}
+	}
 }
 
 func minOf(m map[string]float64) float64 {

@@ -1,0 +1,3 @@
+module sara
+
+go 1.24

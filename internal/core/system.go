@@ -44,6 +44,7 @@ type System struct {
 
 	nextID  uint64
 	byLabel map[string]*Unit
+	pool    txn.Pool
 }
 
 // mcSink adapts a memory controller into a NoC sink.
@@ -86,7 +87,13 @@ func Build(cfg Config) *System {
 	rng := sim.NewRand(cfg.Seed)
 
 	// Memory controllers, one per channel, completing into the response
-	// delay pipe.
+	// delay pipe. One long-lived deliver function plus a per-event
+	// transaction pointer keeps the completion path allocation-free
+	// (a closure capturing t would allocate on every completion).
+	deliver := func(now sim.Cycle, arg any) {
+		t := arg.(*txn.Transaction)
+		s.units[t.Source].Engine.Deliver(t, now)
+	}
 	mcSinks := make([]noc.Sink, cfg.DRAM.Geometry.Channels)
 	for ch := 0; ch < cfg.DRAM.Geometry.Channels; ch++ {
 		mcCfg := memctrl.Config{
@@ -98,9 +105,7 @@ func Build(cfg Config) *System {
 		}
 		ctrl := memctrl.New(mcCfg, s.dram)
 		ctrl.OnComplete = func(t *txn.Transaction, done sim.Cycle) {
-			s.kernel.At(done+cfg.NoC.RespLatency, func(now sim.Cycle) {
-				s.units[t.Source].Engine.Deliver(t, now)
-			})
+			s.kernel.AtArg(done+cfg.NoC.RespLatency, deliver, t)
 		}
 		s.ctrls = append(s.ctrls, ctrl)
 		mcSinks[ch] = mcSink{ctrl: ctrl}
@@ -168,10 +173,11 @@ func Build(cfg Config) *System {
 
 	// Per-cycle pipeline order: sources generate, DMAs inject, aggregation
 	// routers forward, root router delivers into the controllers, and the
-	// controllers issue DRAM commands.
+	// controllers issue DRAM commands. Every component is registered
+	// directly (not through TickFunc) so it carries its sim.Idler hint
+	// and the kernel can fast-forward over system-wide quiescence.
 	for _, u := range s.units {
-		u := u
-		s.kernel.Register(sim.TickFunc(func(now sim.Cycle) { u.Source.Tick(now) }))
+		s.kernel.Register(u.Source)
 	}
 	for _, u := range s.units {
 		s.kernel.Register(u.Engine)
@@ -221,6 +227,7 @@ func (s *System) buildUnit(idx int, spec DMASpec, port *noc.Port, rng *sim.Rand,
 		Core:   spec.Core,
 		Class:  spec.Class,
 		Window: window,
+		Pool:   &s.pool,
 	}, idx, &s.nextID, port, cfg.NoC.HopLatency)
 
 	region := traffic.Region{
@@ -245,7 +252,7 @@ func (s *System) buildUnit(idx int, spec DMASpec, port *noc.Port, rng *sim.Rand,
 		bufBytes := s.bufferBytes(src, bpc)
 		ds := traffic.NewDisplaySource(spec.Label(), engine, region, bpc, bufBytes, src.ReqSize)
 		u.Source = ds
-		u.Meter = meter.NewOccupancyMeter(bpc, meterWindow, bufBytes, false, ds.Occupancy)
+		u.Meter = meter.NewOccupancyMeter(bpc, meterWindow, bufBytes, false, ds.OccupancyAt)
 		// The frame-rate baseline treats a draining real-time buffer as an
 		// urgent media core.
 		engine.SetUrgentProbe(func() bool { return ds.Occupancy() < 0.55 })
@@ -254,7 +261,7 @@ func (s *System) buildUnit(idx int, spec DMASpec, port *noc.Port, rng *sim.Rand,
 		bufBytes := s.bufferBytes(src, bpc)
 		cs := traffic.NewCameraSource(spec.Label(), engine, region, bpc, bufBytes, src.ReqSize)
 		u.Source = cs
-		u.Meter = meter.NewOccupancyMeter(bpc, meterWindow, bufBytes, true, cs.Occupancy)
+		u.Meter = meter.NewOccupancyMeter(bpc, meterWindow, bufBytes, true, cs.OccupancyAt)
 		engine.SetUrgentProbe(func() bool { return cs.Occupancy() > 0.45 })
 
 	case SrcSporadic:
@@ -385,6 +392,20 @@ func (s *System) DRAM() *dram.DRAM { return s.dram }
 
 // Controllers exposes the per-channel memory controllers.
 func (s *System) Controllers() []*memctrl.Controller { return s.ctrls }
+
+// Routers exposes the NoC routers in tick order (aggregation routers
+// first, root last); the equivalence tests compare their statistics
+// across kernel modes.
+func (s *System) Routers() []*noc.Router {
+	var out []*noc.Router
+	if s.mediaRouter != nil {
+		out = append(out, s.mediaRouter)
+	}
+	if s.sysRouter != nil {
+		out = append(out, s.sysRouter)
+	}
+	return append(out, s.rootRouter)
+}
 
 // Units exposes every assembled DMA.
 func (s *System) Units() []*Unit { return s.units }

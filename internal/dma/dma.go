@@ -14,6 +14,13 @@ import (
 	"sara/internal/txn"
 )
 
+// debugInject, when set, observes every injection (tests only).
+var debugInject func(now sim.Cycle, source int, id uint64, addr uint64)
+
+// SetDebugInject installs the injection trace hook (equivalence tests
+// only; not for concurrent use).
+func SetDebugInject(fn func(now sim.Cycle, source int, id uint64, addr uint64)) { debugInject = fn }
+
 // CompletionFunc observes a finished transaction.
 type CompletionFunc func(t *txn.Transaction, now sim.Cycle)
 
@@ -36,6 +43,10 @@ type Config struct {
 	Window int
 	// MaxPending bounds the generated-but-not-injected request queue.
 	MaxPending int
+	// Pool, when set, recycles completed transactions so the steady-state
+	// inject/complete path allocates nothing. All engines of one system
+	// share a pool; the simulator is single-threaded.
+	Pool *txn.Pool
 }
 
 // Stats holds the DMA's counters.
@@ -67,6 +78,14 @@ type Engine struct {
 	pending     []request
 	outstanding int
 	nextID      *uint64
+
+	// lastTick and stalled batch the InjectStalls accounting across
+	// kernel-skipped cycles: a stalled engine's blockers (full window,
+	// full port) cannot change while the whole system is quiescent, so
+	// the skipped cycles were all stalled too and are counted in one
+	// step on the next executed cycle.
+	lastTick sim.Cycle
+	stalled  bool
 
 	onComplete []CompletionFunc
 	stats      Stats
@@ -137,9 +156,30 @@ func (e *Engine) Pending() int { return len(e.pending) }
 // Outstanding reports the injected-but-incomplete transaction count.
 func (e *Engine) Outstanding() int { return e.outstanding }
 
+// NextActivity implements sim.Idler: the engine acts when it can actually
+// inject — requests pending, window open, port space available. A blocked
+// engine only accrues stall cycles, which Tick back-fills exactly over any
+// skipped stretch, and unblocking requires external activity (a completion
+// event, a router pop) that executes a cycle anyway.
+func (e *Engine) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
+	if len(e.pending) > 0 && e.outstanding < e.cfg.Window && e.port.CanAccept() {
+		return now, true
+	}
+	return 0, false
+}
+
 // Tick injects pending requests into the NoC port while the outstanding
 // window and port space allow.
 func (e *Engine) Tick(now sim.Cycle) {
+	if len(e.pending) == 0 && !e.stalled {
+		return // nothing to inject, no stall accounting to carry
+	}
+	if e.stalled && now > e.lastTick+1 {
+		// Skipped cycles between the last stalled tick and now: nothing
+		// in the system moved, so each of them stalled as well.
+		e.stats.InjectStalls += uint64(now - e.lastTick - 1)
+	}
+	e.lastTick = now
 	stalled := false
 	for len(e.pending) > 0 && e.outstanding < e.cfg.Window {
 		if !e.port.CanAccept() {
@@ -151,7 +191,13 @@ func (e *Engine) Tick(now sim.Cycle) {
 		e.pending = e.pending[:len(e.pending)-1]
 
 		*e.nextID++
-		t := &txn.Transaction{
+		var t *txn.Transaction
+		if e.cfg.Pool != nil {
+			t = e.cfg.Pool.Get()
+		} else {
+			t = new(txn.Transaction)
+		}
+		*t = txn.Transaction{
 			ID:       *e.nextID,
 			Kind:     r.kind,
 			Addr:     r.addr,
@@ -164,6 +210,9 @@ func (e *Engine) Tick(now sim.Cycle) {
 		if e.urgent != nil {
 			t.Urgent = e.urgent()
 		}
+		if debugInject != nil {
+			debugInject(now, e.id, t.ID, uint64(t.Addr))
+		}
 		e.port.Push(t, now, now+e.hop)
 		e.outstanding++
 		e.stats.Injected++
@@ -174,6 +223,7 @@ func (e *Engine) Tick(now sim.Cycle) {
 	if stalled {
 		e.stats.InjectStalls++
 	}
+	e.stalled = stalled
 }
 
 // Deliver hands a completed transaction back to the DMA at cycle now.
@@ -191,6 +241,11 @@ func (e *Engine) Deliver(t *txn.Transaction, now sim.Cycle) {
 	e.stats.TotalLatency += uint64(t.Latency())
 	for _, fn := range e.onComplete {
 		fn(t, now)
+	}
+	// The transaction has fully left the system: observers consume it
+	// synchronously and nothing downstream retains it.
+	if e.cfg.Pool != nil {
+		e.cfg.Pool.Put(t)
 	}
 }
 

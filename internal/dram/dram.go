@@ -36,7 +36,6 @@ type bank struct {
 
 // rank tracks the constraints shared by all banks of a rank.
 type rank struct {
-	banks []bank
 	// actHistory holds the cycles of the most recent activates for the
 	// tFAW four-activate window (ring buffer of size 4). actCount tracks
 	// how many activates have happened so a slot holding cycle 0 is not
@@ -48,9 +47,8 @@ type rank struct {
 	hasAct     bool
 }
 
-// channel bundles the ranks behind one data bus.
+// channel bundles the state of one data bus.
 type channel struct {
-	ranks []rank
 	// dataFree is the cycle the data bus becomes free.
 	dataFree sim.Cycle
 	// nextRead/nextWrite gate bus-turnaround between read and write
@@ -66,11 +64,18 @@ type channel struct {
 }
 
 // DRAM is the device model. It is driven by the memory controller(s); it
-// has no per-cycle work of its own.
+// has no per-cycle work of its own. Banks and ranks live in flat slices
+// indexed arithmetically from a Location — the controller probes bank
+// state on every queue scan, and a single indexed load beats a walk
+// through nested per-channel/per-rank slices.
 type DRAM struct {
 	cfg      Config
 	mapper   *AddressMapper
+	banks    []bank // flat [channel][rank][bank]
+	ranks    []rank // flat [channel][rank]
 	channels []channel
+	nRanks   int
+	nBanks   int
 	// firstIssue/lastIssue bound the active measurement window for
 	// average-bandwidth reporting.
 	firstIssue sim.Cycle
@@ -84,18 +89,16 @@ func New(cfg Config) *DRAM {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	d := &DRAM{
+	g := cfg.Geometry
+	return &DRAM{
 		cfg:      cfg,
-		mapper:   NewAddressMapper(cfg.Geometry, cfg.Timing),
-		channels: make([]channel, cfg.Geometry.Channels),
+		mapper:   NewAddressMapper(g, cfg.Timing),
+		banks:    make([]bank, g.Channels*g.Ranks*g.Banks),
+		ranks:    make([]rank, g.Channels*g.Ranks),
+		channels: make([]channel, g.Channels),
+		nRanks:   g.Ranks,
+		nBanks:   g.Banks,
 	}
-	for c := range d.channels {
-		d.channels[c].ranks = make([]rank, cfg.Geometry.Ranks)
-		for r := range d.channels[c].ranks {
-			d.channels[c].ranks[r].banks = make([]bank, cfg.Geometry.Banks)
-		}
-	}
-	return d
 }
 
 // Config returns the configuration the device was built with.
@@ -105,11 +108,11 @@ func (d *DRAM) Config() Config { return d.cfg }
 func (d *DRAM) Mapper() *AddressMapper { return d.mapper }
 
 func (d *DRAM) bank(loc Location) *bank {
-	return &d.channels[loc.Channel].ranks[loc.Rank].banks[loc.Bank]
+	return &d.banks[(loc.Channel*d.nRanks+loc.Rank)*d.nBanks+loc.Bank]
 }
 
 func (d *DRAM) rank(loc Location) *rank {
-	return &d.channels[loc.Channel].ranks[loc.Rank]
+	return &d.ranks[loc.Channel*d.nRanks+loc.Rank]
 }
 
 // State reports the row-buffer state and open row of the bank at loc.
@@ -152,10 +155,18 @@ func (d *DRAM) Release(loc Location, id uint64) {
 // CanActivate reports whether an ACT to loc may issue at cycle now.
 func (d *DRAM) CanActivate(loc Location, now sim.Cycle) bool {
 	b := d.bank(loc)
-	if b.state != BankClosed || now < b.nextActivate {
+	if b.state != BankClosed {
 		return false
 	}
-	rk := d.rank(loc)
+	return d.canActivate(b, d.rank(loc), now)
+}
+
+// canActivate checks the ACT timing gates for an already-fetched bank and
+// rank (the bank must be closed).
+func (d *DRAM) canActivate(b *bank, rk *rank, now sim.Cycle) bool {
+	if now < b.nextActivate {
+		return false
+	}
 	if rk.hasAct && now < rk.lastAct+d.cfg.Timing.TRRD {
 		return false
 	}
@@ -302,6 +313,108 @@ func (d *DRAM) Write(loc Location, now sim.Cycle) sim.Cycle {
 	return dataEnd
 }
 
+// --- Scan snapshots ---
+//
+// A controller's queue scan evaluates every queued transaction against
+// the same handful of banks. Snapshotting the channel's timing state once
+// per scan — per-bank gates, per-rank ACT gates, the shared bus gates —
+// turns the per-entry work into pure arithmetic on a small flat array.
+// The snapshot stays valid for the whole scan because nothing but the
+// scanning controller mutates its channel.
+
+// BankScan is one bank's scan-relevant state.
+type BankScan struct {
+	Open       bool
+	Row        uint64
+	ReservedBy uint64
+	NextRead   sim.Cycle // bank-level CAS gates; combine with ScanState.ChRead
+	NextWrite  sim.Cycle
+	NextPre    sim.Cycle
+	NextAct    sim.Cycle // bank-level ACT gate; combine with ScanState.RankAct
+}
+
+// ScanState is a per-channel snapshot for one controller scan. Create it
+// once with InitScan and refresh it with FillScan.
+type ScanState struct {
+	// ChRead/ChWrite fold the channel CAS-to-CAS spacing and the data-bus
+	// occupancy into a single earliest-CAS gate.
+	ChRead  sim.Cycle
+	ChWrite sim.Cycle
+	// RankAct[r] is rank r's ACT gate from tRRD and tFAW.
+	RankAct []sim.Cycle
+	// Banks is indexed by rank*Banks+bank (the controller's bankKey).
+	Banks []BankScan
+}
+
+// InitScan sizes s for this device's geometry.
+func (d *DRAM) InitScan(s *ScanState) {
+	s.RankAct = make([]sim.Cycle, d.nRanks)
+	s.Banks = make([]BankScan, d.nRanks*d.nBanks)
+}
+
+// RefreshScanBank re-reads the state a just-issued command at loc could
+// have changed — loc's bank, its rank's ACT gate and the channel CAS
+// gates — leaving the rest of the snapshot untouched. Controllers call it
+// after each issue instead of refilling the whole snapshot every scan.
+func (d *DRAM) RefreshScanBank(ch int, loc Location, s *ScanState) {
+	t := d.cfg.Timing
+	c := &d.channels[ch]
+	s.ChRead = maxCycle(c.nextRead, satSub(c.dataFree, t.CL))
+	s.ChWrite = maxCycle(c.nextWrite, satSub(c.dataFree, t.CWL))
+	rk := &d.ranks[ch*d.nRanks+loc.Rank]
+	var gate sim.Cycle
+	if rk.hasAct {
+		gate = rk.lastAct + t.TRRD
+	}
+	if rk.actCount >= uint64(len(rk.actHistory)) {
+		gate = maxCycle(gate, rk.actHistory[rk.actIdx]+t.TFAW)
+	}
+	s.RankAct[loc.Rank] = gate
+	bk := &d.banks[(ch*d.nRanks+loc.Rank)*d.nBanks+loc.Bank]
+	s.Banks[loc.Rank*d.nBanks+loc.Bank] = BankScan{
+		Open:       bk.state == BankOpen,
+		Row:        bk.row,
+		ReservedBy: bk.reservedBy,
+		NextRead:   bk.nextRead,
+		NextWrite:  bk.nextWrite,
+		NextPre:    bk.nextPrecharge,
+		NextAct:    bk.nextActivate,
+	}
+}
+
+// FillScan refreshes s with channel's current timing state.
+func (d *DRAM) FillScan(ch int, s *ScanState) {
+	t := d.cfg.Timing
+	c := &d.channels[ch]
+	s.ChRead = maxCycle(c.nextRead, satSub(c.dataFree, t.CL))
+	s.ChWrite = maxCycle(c.nextWrite, satSub(c.dataFree, t.CWL))
+	for r := 0; r < d.nRanks; r++ {
+		rk := &d.ranks[ch*d.nRanks+r]
+		var gate sim.Cycle
+		if rk.hasAct {
+			gate = rk.lastAct + t.TRRD
+		}
+		if rk.actCount >= uint64(len(rk.actHistory)) {
+			gate = maxCycle(gate, rk.actHistory[rk.actIdx]+t.TFAW)
+		}
+		s.RankAct[r] = gate
+		base := (ch*d.nRanks + r) * d.nBanks
+		out := s.Banks[r*d.nBanks:]
+		for b := 0; b < d.nBanks; b++ {
+			bk := &d.banks[base+b]
+			out[b] = BankScan{
+				Open:       bk.state == BankOpen,
+				Row:        bk.row,
+				ReservedBy: bk.reservedBy,
+				NextRead:   bk.nextRead,
+				NextWrite:  bk.nextWrite,
+				NextPre:    bk.nextPrecharge,
+				NextAct:    bk.nextActivate,
+			}
+		}
+	}
+}
+
 func (d *DRAM) markIssue(now sim.Cycle) {
 	if !d.anyIssue {
 		d.firstIssue = now
@@ -315,4 +428,12 @@ func maxCycle(a, b sim.Cycle) sim.Cycle {
 		return a
 	}
 	return b
+}
+
+// satSub returns a-b, floored at zero (cycles are unsigned).
+func satSub(a, b sim.Cycle) sim.Cycle {
+	if a <= b {
+		return 0
+	}
+	return a - b
 }

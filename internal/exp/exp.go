@@ -6,8 +6,11 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"sara/internal/config"
 	"sara/internal/core"
@@ -31,6 +34,12 @@ type Options struct {
 	MeasureFrames int
 	// Seed is the workload seed.
 	Seed uint64
+	// Workers bounds the number of (case, policy, frequency) runs
+	// executed concurrently: 0 selects GOMAXPROCS, 1 forces serial
+	// execution. Every run owns its own kernel, system and forked RNG
+	// streams, so results are identical regardless of worker count; the
+	// identity tests assert it.
+	Workers int
 }
 
 // apply fills defaults.
@@ -49,6 +58,42 @@ func (o Options) apply() Options {
 
 // DefaultOptions is the standard experiment fidelity.
 func DefaultOptions() Options { return Options{}.apply() }
+
+// forEach runs fn(0..n-1) across the configured number of workers,
+// preserving slot order: fn(i) writes only its own result. Runs are
+// embarrassingly parallel — each builds a private System — so fan-out
+// changes wall-clock time, never results.
+func (o Options) forEach(n int, fn func(i int)) {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // FastOptions is an alias of DefaultOptions kept for test readability.
 func FastOptions() Options { return Options{}.apply() }
@@ -153,23 +198,26 @@ func Fig5Policies() []memctrl.PolicyKind {
 	return []memctrl.PolicyKind{memctrl.FCFS, memctrl.RR, memctrl.FrameRate, memctrl.QoS}
 }
 
+// runPolicies measures tc under each policy, fanning the independent runs
+// across opt.Workers.
+func runPolicies(tc config.Case, policies []memctrl.PolicyKind, opt Options) []PolicyRun {
+	opt = opt.apply()
+	out := make([]PolicyRun, len(policies))
+	opt.forEach(len(policies), func(i int) {
+		out[i] = RunPolicy(tc, policies[i], opt)
+	})
+	return out
+}
+
 // Fig5 reproduces Fig. 5: NPI of critical cores during one frame of test
 // case A under FCFS, round-robin, frame-rate QoS and priority QoS.
 func Fig5(opt Options) []PolicyRun {
-	var out []PolicyRun
-	for _, p := range Fig5Policies() {
-		out = append(out, RunPolicy(config.CaseA, p, opt))
-	}
-	return out
+	return runPolicies(config.CaseA, Fig5Policies(), opt)
 }
 
 // Fig6 reproduces Fig. 6: the same comparison for test case B.
 func Fig6(opt Options) []PolicyRun {
-	var out []PolicyRun
-	for _, p := range Fig5Policies() {
-		out = append(out, RunPolicy(config.CaseB, p, opt))
-	}
-	return out
+	return runPolicies(config.CaseB, Fig5Policies(), opt)
 }
 
 // FreqHistogram is one bar of Fig. 7: the distribution of the image
@@ -188,8 +236,10 @@ func Fig7Frequencies() []int { return []int{1700, 1600, 1500, 1400, 1300} }
 // priority-based QoS policy.
 func Fig7(opt Options) []FreqHistogram {
 	opt = opt.apply()
-	var out []FreqHistogram
-	for _, mtps := range Fig7Frequencies() {
+	freqs := Fig7Frequencies()
+	out := make([]FreqHistogram, len(freqs))
+	opt.forEach(len(freqs), func(i int) {
+		mtps := freqs[i]
 		cfg := config.Camcorder(config.CaseA,
 			config.WithPolicy(memctrl.QoS),
 			config.WithScaleDiv(opt.ScaleDiv),
@@ -202,8 +252,8 @@ func Fig7(opt Options) []FreqHistogram {
 		for lvl := 0; lvl < hist.Levels(); lvl++ {
 			h.Fraction[lvl] = hist.Fraction(lvl)
 		}
-		out = append(out, h)
-	}
+		out[i] = h
+	})
 	return out
 }
 
@@ -234,12 +284,14 @@ func Fig8Policies() []memctrl.PolicyKind {
 // saturated variant of test case A (see config.Saturated).
 func Fig8(opt Options) []BandwidthResult {
 	opt = opt.apply()
-	var out []BandwidthResult
 	warmup := opt.WarmupFrames
 	if warmup == 0 {
 		warmup = 1 // bandwidth comparisons exclude the cold start
 	}
-	for _, p := range Fig8Policies() {
+	policies := Fig8Policies()
+	out := make([]BandwidthResult, len(policies))
+	opt.forEach(len(policies), func(i int) {
+		p := policies[i]
 		cfg := config.Saturated(
 			config.WithPolicy(p),
 			config.WithScaleDiv(opt.ScaleDiv),
@@ -249,22 +301,20 @@ func Fig8(opt Options) []BandwidthResult {
 		from := sys.Now()
 		before := sys.DRAM().Stats()
 		sys.RunFrames(opt.MeasureFrames)
-		out = append(out, BandwidthResult{
+		out[i] = BandwidthResult{
 			Policy:        p,
 			BandwidthGBps: sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()),
 			RowHitRate:    sys.DRAM().RowHitRate(),
-		})
-	}
+		}
+	})
 	return out
 }
 
 // Fig9 reproduces Fig. 9: NPI of the critical cores of test case A under
 // FR-FCFS versus QoS-RB (Policy 2).
 func Fig9(opt Options) []PolicyRun {
-	return []PolicyRun{
-		RunPolicy(config.CaseA, memctrl.FRFCFS, opt),
-		RunPolicy(config.CaseA, memctrl.QoSRB, opt),
-	}
+	return runPolicies(config.CaseA,
+		[]memctrl.PolicyKind{memctrl.FRFCFS, memctrl.QoSRB}, opt)
 }
 
 // FormatRun renders a PolicyRun as a small text table.

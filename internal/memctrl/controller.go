@@ -77,14 +77,36 @@ type Controller struct {
 	scratch []candidate
 	// aged marks that scratch currently holds only over-age candidates.
 	agedPass bool
-	// rowState tracks whether each queued transaction needed a precharge
-	// (conflict) or activate (miss) before its CAS, keyed by txn ID.
-	needed map[uint64]uint8
 	// bankHit caches, per (rank, bank), the highest priority among queued
-	// transactions that hit the currently open row. Row-aware policies use
-	// it to avoid precharging a row that still has useful hits queued.
-	bankHit map[int]txn.Priority
+	// transactions that hit the currently open row, offset by one so zero
+	// means "no queued hit". Row-aware policies use it to avoid
+	// precharging a row that still has useful hits queued. A flat array
+	// indexed by rank*banks+bank keeps the per-cycle refresh free of map
+	// traffic.
+	bankHit []uint16
+
+	// nextTry is the next cycle a queue scan can possibly yield a
+	// command. After a scan finds nothing issuable, the blockers are pure
+	// DRAM timing (plus aging thresholds), both of which are exactly
+	// predictable, and nothing outside this controller mutates its
+	// channel's state — so Tick sleeps until nextTry or the next Enqueue
+	// instead of re-scanning every cycle. neverTry means no queued
+	// transaction can ever issue without a queue change.
+	nextTry sim.Cycle
+
+	// scan is the per-scan snapshot of the channel's DRAM timing state;
+	// entries are evaluated against it with plain arithmetic instead of
+	// per-entry device probes.
+	scan dram.ScanState
+
+	// nBanks caches the geometry for bankKey (fetching the full device
+	// config per lookup is measurable on the scan path).
+	nBanks int
 }
+
+// neverTry marks a dormant controller whose queue contents must change
+// before any command can issue.
+const neverTry = ^sim.Cycle(0)
 
 const (
 	neededNothing uint8 = iota
@@ -97,16 +119,21 @@ func New(cfg Config, d *dram.DRAM) *Controller {
 	if cfg.Channel < 0 || cfg.Channel >= d.Config().Geometry.Channels {
 		panic(fmt.Sprintf("memctrl: channel %d out of range", cfg.Channel))
 	}
+	geo := d.Config().Geometry
 	c := &Controller{
 		cfg:     cfg,
 		dram:    d,
 		mapper:  d.Mapper(),
-		needed:  make(map[uint64]uint8),
-		bankHit: make(map[int]txn.Priority),
+		bankHit: make([]uint16, geo.Ranks*geo.Banks),
+		nBanks:  geo.Banks,
 	}
 	for i := range c.queues {
 		c.queues[i] = classQueue{class: txn.Class(i), cap: cfg.QueueCaps[i]}
 	}
+	d.InitScan(&c.scan)
+	// The snapshot is filled once and patched after every issued command;
+	// nothing else mutates this channel's timing state.
+	d.FillScan(cfg.Channel, &c.scan)
 	return c
 }
 
@@ -135,8 +162,12 @@ func (c *Controller) Enqueue(t *txn.Transaction, now sim.Cycle) {
 			t.ID, loc.Channel, c.cfg.Channel))
 	}
 	t.Enqueue = now
+	t.RowPath = neededNothing
 	c.queues[t.Class].push(entry{t: t, loc: loc})
 	c.stats.Enqueued++
+	// A new transaction invalidates the dormancy window: it may be
+	// issuable immediately, and it changes the row-hit picture.
+	c.nextTry = 0
 }
 
 // Pending reports the total number of queued transactions.
@@ -154,12 +185,34 @@ func (c *Controller) rrDist(class txn.Class) int {
 	return (int(class) - int(c.rrPtr) + txn.NumClasses) % txn.NumClasses
 }
 
+// NextActivity implements sim.Idler: an empty controller never wakes the
+// kernel, and a controller whose queued transactions are all blocked on
+// DRAM timing wakes exactly when the first timing gate opens.
+func (c *Controller) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
+	if c.Pending() == 0 {
+		return 0, false
+	}
+	if c.nextTry == neverTry {
+		// Every queued transaction is blocked on a queue-shape change
+		// (e.g. the open-page guard); only an Enqueue can unblock it.
+		return 0, false
+	}
+	if c.nextTry > now {
+		return c.nextTry, true
+	}
+	return now, true
+}
+
 // Tick issues at most one DRAM command for this channel.
 func (c *Controller) Tick(now sim.Cycle) {
-	c.collectCandidates(now)
-	if len(c.scratch) == 0 {
+	if now < c.nextTry {
 		return
 	}
+	c.collectCandidates(now)
+	if len(c.scratch) == 0 {
+		return // collectCandidates computed the dormancy window
+	}
+	c.nextTry = now + 1
 	best := c.scratch[0]
 	for _, cand := range c.scratch[1:] {
 		if c.agedPass {
@@ -177,15 +230,40 @@ func (c *Controller) Tick(now sim.Cycle) {
 // issue a DRAM command at cycle now, honoring bank reservations. When any
 // transaction is over the aging limit, only over-age transactions are
 // candidates (the "clear the backlog" rule of Section 3.3).
+//
+// When the scan comes up empty, the same pass has already gathered the
+// next cycle anything could change — the minimum over per-entry timing
+// gates and upcoming aging-threshold crossings — and parks the controller
+// there via nextTry. The bounds are exact: nothing outside this
+// controller mutates its channel's DRAM state, and Enqueue resets the
+// window.
 func (c *Controller) collectCandidates(now sim.Cycle) {
 	c.scratch = c.scratch[:0]
 	c.agedPass = false
 	c.refreshBankHits()
-	if c.cfg.AgingT > 0 {
+	// Queues are FIFO and Enqueue stamps are monotone, so each class head
+	// is its queue's oldest entry: five compares decide whether any aging
+	// work exists at all.
+	agingOn := c.cfg.AgingT > 0
+	hasAged := false
+	if agingOn {
 		for qi := range c.queues {
-			for _, e := range c.queues[qi].entries {
-				if now >= e.t.Enqueue+c.cfg.AgingT && c.issuable(e, now, true) {
-					c.scratch = append(c.scratch, candidate{e: e, rowHit: c.dram.RowHit(e.loc)})
+			if es := c.queues[qi].entries; len(es) > 0 && now >= es[0].t.Enqueue+c.cfg.AgingT {
+				hasAged = true
+				break
+			}
+		}
+	}
+	if hasAged {
+		for qi := range c.queues {
+			entries := c.queues[qi].entries
+			for i := range entries {
+				e := &entries[i]
+				if now < e.t.Enqueue+c.cfg.AgingT {
+					continue
+				}
+				if ok, rowHit, _, _ := c.probeScan(e, true, now); ok {
+					c.scratch = append(c.scratch, candidate{e: *e, rowHit: rowHit})
 				}
 			}
 		}
@@ -194,12 +272,87 @@ func (c *Controller) collectCandidates(now sim.Cycle) {
 			return
 		}
 	}
+	tryAt := neverTry
 	for qi := range c.queues {
-		for _, e := range c.queues[qi].entries {
-			if c.issuable(e, now, false) {
-				c.scratch = append(c.scratch, candidate{e: e, rowHit: c.dram.RowHit(e.loc)})
+		entries := c.queues[qi].entries
+		for i := range entries {
+			e := &entries[i]
+			ok, rowHit, at, atOK := c.probeScan(e, c.allowPrecharge(e), now)
+			if ok {
+				c.scratch = append(c.scratch, candidate{e: *e, rowHit: rowHit})
+				continue
+			}
+			if hasAged && !atOK && now >= e.t.Enqueue+c.cfg.AgingT {
+				// Already aged but policy-blocked: the aged pass
+				// bypasses the open-page guard, so probe with it.
+				_, _, at, atOK = c.probeScan(e, true, now)
+			}
+			if atOK && at < tryAt {
+				tryAt = at
 			}
 		}
+	}
+	if len(c.scratch) == 0 {
+		if agingOn {
+			// The next aging-threshold crossing changes both the
+			// candidate set and the open-page bypass. Entries are sorted
+			// by Enqueue, so the first not-yet-aged entry of each class
+			// carries the class minimum.
+			for qi := range c.queues {
+				entries := c.queues[qi].entries
+				for i := range entries {
+					if deadline := entries[i].t.Enqueue + c.cfg.AgingT; deadline > now {
+						if deadline < tryAt {
+							tryAt = deadline
+						}
+						break
+					}
+				}
+			}
+		}
+		if tryAt <= now {
+			// Defensive: the scan just failed at now, so nothing can
+			// issue before the next cycle.
+			tryAt = now + 1
+		}
+		c.nextTry = tryAt
+	}
+}
+
+// probeScan evaluates entry e against the current scan snapshot: whether
+// its next command can issue at now, whether its CAS would hit the open
+// row, and the earliest cycle the command clears the timing gates (atOK
+// false when blocked on a foreign reservation or a disallowed precharge).
+func (c *Controller) probeScan(e *entry, allowPre bool, now sim.Cycle) (ok, rowHit bool, at sim.Cycle, atOK bool) {
+	b := &c.scan.Banks[c.bankKey(e.loc)]
+	if b.ReservedBy != 0 && b.ReservedBy != e.t.ID {
+		return false, false, 0, false
+	}
+	switch {
+	case b.Open && b.Row == e.loc.Row:
+		if e.t.Kind == txn.Read {
+			at = b.NextRead
+			if c.scan.ChRead > at {
+				at = c.scan.ChRead
+			}
+		} else {
+			at = b.NextWrite
+			if c.scan.ChWrite > at {
+				at = c.scan.ChWrite
+			}
+		}
+		return now >= at, true, at, true
+	case b.Open:
+		if !allowPre {
+			return false, false, 0, false
+		}
+		return now >= b.NextPre, false, b.NextPre, true
+	default:
+		at = b.NextAct
+		if g := c.scan.RankAct[e.loc.Rank]; g > at {
+			at = g
+		}
+		return now >= at, false, at, true
 	}
 }
 
@@ -210,23 +363,26 @@ func (c *Controller) refreshBankHits() {
 		return
 	}
 	for k := range c.bankHit {
-		delete(c.bankHit, k)
+		c.bankHit[k] = 0
 	}
 	for qi := range c.queues {
-		for _, e := range c.queues[qi].entries {
-			if !c.dram.RowHit(e.loc) {
+		entries := c.queues[qi].entries
+		for i := range entries {
+			e := &entries[i]
+			key := c.bankKey(e.loc)
+			b := &c.scan.Banks[key]
+			if !b.Open || b.Row != e.loc.Row {
 				continue
 			}
-			key := c.bankKey(e.loc)
-			if p, ok := c.bankHit[key]; !ok || e.t.Priority > p {
-				c.bankHit[key] = e.t.Priority
+			if p := uint16(e.t.Priority) + 1; p > c.bankHit[key] {
+				c.bankHit[key] = p
 			}
 		}
 	}
 }
 
 func (c *Controller) bankKey(loc dram.Location) int {
-	return loc.Rank*c.dram.Config().Geometry.Banks + loc.Bank
+	return loc.Rank*c.nBanks + loc.Bank
 }
 
 // allowPrecharge reports whether a row-aware policy lets e close its
@@ -234,64 +390,58 @@ func (c *Controller) bankKey(loc dram.Location) int {
 // never does (open-page); QoS-RB lets an urgent transaction (priority at
 // or above delta) precharge past lower-priority hits, mirroring Policy 2's
 // arbitration rule.
-func (c *Controller) allowPrecharge(e entry) bool {
+func (c *Controller) allowPrecharge(e *entry) bool {
 	switch c.cfg.Policy {
 	case FRFCFS, QoSRB:
-		hitPrio, ok := c.bankHit[c.bankKey(e.loc)]
-		if !ok {
+		hit := c.bankHit[c.bankKey(e.loc)]
+		if hit == 0 {
 			return true
 		}
 		if c.cfg.Policy == FRFCFS {
 			return false
 		}
+		hitPrio := txn.Priority(hit - 1)
 		return e.t.Priority >= c.cfg.Delta && e.t.Priority > hitPrio
 	default:
 		return true
 	}
 }
 
-// issuable reports whether e's next command can issue at now. Aged
-// transactions bypass the open-page precharge guard so the backlog always
-// clears.
-func (c *Controller) issuable(e entry, now sim.Cycle, aged bool) bool {
-	if owner := c.dram.ReservedBy(e.loc); owner != 0 && owner != e.t.ID {
-		return false
-	}
-	state, row := c.dram.State(e.loc)
-	switch {
-	case state == dram.BankOpen && row == e.loc.Row:
-		if e.t.Kind == txn.Read {
-			return c.dram.CanRead(e.loc, now)
-		}
-		return c.dram.CanWrite(e.loc, now)
-	case state == dram.BankOpen:
-		if !aged && !c.allowPrecharge(e) {
-			return false
-		}
-		return c.dram.CanPrecharge(e.loc, now)
-	default:
-		return c.dram.CanActivate(e.loc, now)
-	}
-}
+// debugTrace, when set, observes every issued command (tests only).
+var debugTrace func(ch int, now sim.Cycle, id uint64, kind byte)
+
+// SetDebugTrace installs the command trace hook (equivalence tests only;
+// not for concurrent use).
+func SetDebugTrace(fn func(ch int, now sim.Cycle, id uint64, kind byte)) { debugTrace = fn }
 
 // issue performs e's next command at cycle now.
 func (c *Controller) issue(best candidate, now sim.Cycle) {
 	e := best.e
 	state, row := c.dram.State(e.loc)
+	if debugTrace != nil {
+		k := byte('C')
+		if state == dram.BankOpen && row != e.loc.Row {
+			k = 'P'
+		} else if state != dram.BankOpen {
+			k = 'A'
+		}
+		debugTrace(c.cfg.Channel, now, e.t.ID, k)
+	}
 	switch {
 	case state == dram.BankOpen && row == e.loc.Row:
 		c.issueCAS(e, now)
 	case state == dram.BankOpen:
 		c.dram.Reserve(e.loc, e.t.ID)
 		c.dram.Precharge(e.loc, now)
-		c.needed[e.t.ID] = neededPre
+		e.t.RowPath = neededPre
 	default:
 		c.dram.Reserve(e.loc, e.t.ID)
 		c.dram.Activate(e.loc, now)
-		if c.needed[e.t.ID] != neededPre {
-			c.needed[e.t.ID] = neededAct
+		if e.t.RowPath != neededPre {
+			e.t.RowPath = neededAct
 		}
 	}
+	c.dram.RefreshScanBank(c.cfg.Channel, e.loc, &c.scan)
 }
 
 func (c *Controller) issueCAS(e entry, now sim.Cycle) {
@@ -306,7 +456,7 @@ func (c *Controller) issueCAS(e entry, now sim.Cycle) {
 	c.dram.Release(e.loc, e.t.ID)
 	c.queues[e.t.Class].remove(e.t.ID)
 
-	switch c.needed[e.t.ID] {
+	switch e.t.RowPath {
 	case neededPre:
 		c.stats.RowConflicts++
 	case neededAct:
@@ -314,7 +464,6 @@ func (c *Controller) issueCAS(e entry, now sim.Cycle) {
 	default:
 		c.stats.RowHits++
 	}
-	delete(c.needed, e.t.ID)
 
 	c.stats.Served++
 	c.stats.PerClass[e.t.Class]++

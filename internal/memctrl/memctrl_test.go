@@ -165,10 +165,10 @@ func TestQoSRBDeltaGating(t *testing.T) {
 		c2.Tick(now)
 	}
 	c2.refreshBankHits()
-	if !c2.allowPrecharge(urgent) {
+	if !c2.allowPrecharge(&urgent) {
 		t.Fatal("priority-7 conflict should be allowed to precharge past a priority-0 hit")
 	}
-	if c2.allowPrecharge(calm) {
+	if c2.allowPrecharge(&calm) {
 		t.Fatal("priority-3 conflict must not precharge past a queued hit")
 	}
 }

@@ -195,13 +195,16 @@ type OccupancyMeter struct {
 	Window sim.Cycle
 	// Invert flips the deviation sign for drain-side (camera) buffers.
 	Invert bool
-	// occupancy probes the buffer fill fraction.
-	occupancy func() float64
+	// occupancy probes the buffer fill fraction at a given cycle. Taking
+	// the cycle lets buffered sources integrate any pending drain/fill
+	// before answering, so sampling is exact even when the kernel
+	// fast-forwarded over the preceding cycles.
+	occupancy func(now sim.Cycle) float64
 }
 
 // NewOccupancyMeter builds an Eqn. 3 meter. target is in bytes/cycle.
 func NewOccupancyMeter(target float64, window sim.Cycle, bufBytes float64,
-	invert bool, occupancy func() float64) *OccupancyMeter {
+	invert bool, occupancy func(now sim.Cycle) float64) *OccupancyMeter {
 	return &OccupancyMeter{
 		TargetRate: target,
 		BufBytes:   bufBytes,
@@ -212,12 +215,12 @@ func NewOccupancyMeter(target float64, window sim.Cycle, bufBytes float64,
 	}
 }
 
-// Occupancy reports the instantaneous buffer fill fraction.
-func (m *OccupancyMeter) Occupancy() float64 {
+// OccupancyAt reports the buffer fill fraction at cycle now.
+func (m *OccupancyMeter) OccupancyAt(now sim.Cycle) float64 {
 	if m.occupancy == nil {
 		return 0
 	}
-	return m.occupancy()
+	return m.occupancy(now)
 }
 
 // NPI reports 1 + dOccupancy/(rate*window), per Eqn. 3.
@@ -225,7 +228,7 @@ func (m *OccupancyMeter) NPI(now sim.Cycle) float64 {
 	if m.TargetRate <= 0 {
 		return MaxNPI
 	}
-	delta := (m.Occupancy() - m.InitFrac) * m.BufBytes
+	delta := (m.OccupancyAt(now) - m.InitFrac) * m.BufBytes
 	if m.Invert {
 		delta = -delta
 	}

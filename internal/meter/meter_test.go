@@ -91,7 +91,7 @@ func TestFrameProgressReferenceFactor(t *testing.T) {
 
 func TestOccupancyMeterEqn3Display(t *testing.T) {
 	occ := 0.5
-	m := NewOccupancyMeter(2.0, 1000, 8000, false, func() float64 { return occ })
+	m := NewOccupancyMeter(2.0, 1000, 8000, false, func(sim.Cycle) float64 { return occ })
 	// At the initial level: NPI = 1 exactly (Eqn. 3 with dOcc = 0).
 	if npi := m.NPI(0); math.Abs(npi-1.0) > 1e-9 {
 		t.Fatalf("NPI %v at initial occupancy, want 1.0", npi)
@@ -110,7 +110,7 @@ func TestOccupancyMeterEqn3Display(t *testing.T) {
 
 func TestOccupancyMeterInvertedCamera(t *testing.T) {
 	occ := 0.9 // camera buffer filling up = DMA behind
-	m := NewOccupancyMeter(2.0, 1000, 8000, true, func() float64 { return occ })
+	m := NewOccupancyMeter(2.0, 1000, 8000, true, func(sim.Cycle) float64 { return occ })
 	if npi := m.NPI(0); npi >= 1 {
 		t.Fatalf("camera NPI %v with overfull buffer, want < 1", npi)
 	}

@@ -81,12 +81,20 @@ type packet struct {
 	t       *txn.Transaction
 	readyAt sim.Cycle // when it finishes the incoming link
 	arrived sim.Cycle // when it entered this router's port (for FCFS/aging)
+	// out caches the routed output index (-1 until first computed);
+	// routing is per-transaction math the arbitration loops would
+	// otherwise redo every cycle the packet waits at the head.
+	out int16
 }
 
 // Port is a router input FIFO.
 type Port struct {
 	fifo  []packet
 	depth int
+	// queued, when wired by a router, tracks the router-wide packet
+	// count so Tick and NextActivity can bail out of an empty router
+	// without touching every port.
+	queued *int
 }
 
 // NewPort returns a port with the given FIFO depth.
@@ -105,7 +113,10 @@ func (p *Port) Push(t *txn.Transaction, arrived, readyAt sim.Cycle) {
 	if !p.CanAccept() {
 		panic("noc: push to full port")
 	}
-	p.fifo = append(p.fifo, packet{t: t, readyAt: readyAt, arrived: arrived})
+	p.fifo = append(p.fifo, packet{t: t, readyAt: readyAt, arrived: arrived, out: -1})
+	if p.queued != nil {
+		*p.queued++
+	}
 }
 
 // Len reports the queued packet count.
@@ -123,6 +134,9 @@ func (p *Port) pop() packet {
 	copy(p.fifo, p.fifo[1:])
 	p.fifo[len(p.fifo)-1] = packet{}
 	p.fifo = p.fifo[:len(p.fifo)-1]
+	if p.queued != nil {
+		*p.queued--
+	}
 	return pk
 }
 
@@ -162,9 +176,43 @@ type Router struct {
 	route func(*txn.Transaction) int
 	rrPtr int
 
+	// ready is per-cycle scratch: the arbitrable head of every port,
+	// collected once per Tick so the per-output selection loops do not
+	// re-read FIFOs and re-route packets.
+	ready []readyHead
+	// queued is the live packet count across all input ports.
+	queued int
+	// lastTick and stallFrom batch the stall accounting across
+	// kernel-skipped cycles. stallFrom is the first cycle at which,
+	// absent any activity, a ready head exists — from then on every
+	// skipped cycle stalls, because downstream space cannot change while
+	// the whole system is quiescent, and a grantable head would have
+	// kept the kernel executing. The next executed Tick back-fills the
+	// range in one step. It starts at a head's future readyAt when the
+	// head is still traversing its link, which a boolean "stalled last
+	// tick" flag could not express.
+	lastTick  sim.Cycle
+	stallFrom sim.Cycle
+
 	// stats
 	forwarded uint64
 	stalls    uint64 // cycles an arbitrable head existed but no grant fit
+}
+
+// debugStall, when set, observes every stall accrual (tests only).
+var debugStall func(name string, now sim.Cycle, n uint64, backfill bool)
+
+// SetDebugStall installs the stall trace hook (tests only).
+func SetDebugStall(fn func(name string, now sim.Cycle, n uint64, backfill bool)) { debugStall = fn }
+
+// neverStall marks a router with no packets: gaps accrue no stalls.
+const neverStall = ^sim.Cycle(0)
+
+// readyHead is one port's arbitrable head packet with its routed output.
+type readyHead struct {
+	idx int
+	out int
+	pk  packet
 }
 
 // NewRouter builds a router with nports input ports. route may be nil when
@@ -179,10 +227,11 @@ func NewRouter(name string, params Params, nports int, outputs []Sink, route fun
 		}
 		route = func(*txn.Transaction) int { return 0 }
 	}
-	r := &Router{name: name, params: params, outputs: outputs, route: route}
+	r := &Router{name: name, params: params, outputs: outputs, route: route, stallFrom: neverStall}
 	r.ports = make([]*Port, nports)
 	for i := range r.ports {
 		r.ports[i] = NewPort(params.PortDepth)
+		r.ports[i].queued = &r.queued
 	}
 	return r
 }
@@ -199,75 +248,156 @@ func (r *Router) Forwarded() uint64 { return r.forwarded }
 // Stalls reports cycles where a ready head existed but nothing was granted.
 func (r *Router) Stalls() uint64 { return r.stalls }
 
-// Tick performs one cycle of switch allocation: at most one grant per
-// output, at most one pop per input.
-func (r *Router) Tick(now sim.Cycle) {
-	granted := false
-	ready := false
-	for out := range r.outputs {
-		idx := r.selectFor(out, now)
-		if idx < 0 {
+// NextActivity implements sim.Idler: an empty router never acts; a router
+// whose head packets are all still traversing their incoming links acts no
+// earlier than the first head becomes arbitrable; and a router whose ready
+// heads are all blocked downstream only accrues stall cycles, which Tick
+// back-fills exactly — unblocking requires downstream activity, which
+// executes a cycle and re-queries this hint.
+func (r *Router) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
+	if r.queued == 0 {
+		return 0, false
+	}
+	var earliest sim.Cycle
+	found := false
+	for _, p := range r.ports {
+		pk, ok := p.head()
+		if !ok {
 			continue
 		}
-		ready = true
-		pk := r.ports[idx].pop()
+		if pk.readyAt <= now {
+			if r.outputs[r.headOut(p)].CanAccept(pk.t) {
+				return now, true
+			}
+			continue
+		}
+		if !found || pk.readyAt < earliest {
+			earliest = pk.readyAt
+			found = true
+		}
+	}
+	return earliest, found
+}
+
+// Tick performs one cycle of switch allocation: at most one grant per
+// output. The arbitrable heads are collected (and routed) once; after a
+// grant, the popped port's next head joins the pool for the remaining
+// outputs, matching the per-output re-read of a straightforward nested
+// scan.
+func (r *Router) Tick(now sim.Cycle) {
+	if r.queued == 0 {
+		return // stallFrom is neverStall: the tick that popped the last packet reset it
+	}
+	if now > r.lastTick+1 && r.stallFrom < now {
+		// Skipped cycles since the last tick: nothing in the system
+		// moved, so every one of them from stallFrom on stalled.
+		from := r.stallFrom
+		if from <= r.lastTick {
+			from = r.lastTick + 1
+		}
+		r.stalls += uint64(now - from)
+		if debugStall != nil {
+			debugStall(r.name, now, uint64(now-from), true)
+		}
+	}
+	r.lastTick = now
+	r.ready = r.ready[:0]
+	oldest := now
+	for i, p := range r.ports {
+		if pk, ok := p.head(); ok && pk.readyAt <= now {
+			r.ready = append(r.ready, readyHead{idx: i, out: r.headOut(p), pk: pk})
+			if pk.arrived < oldest {
+				oldest = pk.arrived
+			}
+		}
+	}
+	// The aging pass only matters once some ready head is over-age.
+	aging := r.params.AgingT > 0 && now >= oldest+r.params.AgingT
+	granted := false
+	for out := range r.outputs {
+		sel := r.selectReady(out, now, aging)
+		if sel < 0 {
+			continue
+		}
+		h := r.ready[sel]
+		pk := r.ports[h.idx].pop()
 		r.outputs[out].Accept(pk.t, now)
 		r.forwarded++
 		granted = true
-		r.rrPtr = (idx + 1) % len(r.ports)
-	}
-	if !granted {
-		// Count a stall only if some head was ready but blocked downstream.
-		for _, p := range r.ports {
-			if pk, ok := p.head(); ok && pk.readyAt <= now {
-				ready = true
-				break
-			}
+		r.rrPtr = (h.idx + 1) % len(r.ports)
+		// Refresh the granted port's cached head for later outputs.
+		if npk, ok := r.ports[h.idx].head(); ok && npk.readyAt <= now {
+			r.ready[sel] = readyHead{idx: h.idx, out: r.headOut(r.ports[h.idx]), pk: npk}
+		} else {
+			r.ready = append(r.ready[:sel], r.ready[sel+1:]...)
 		}
-		if ready {
-			r.stalls++
+	}
+	if !granted && len(r.ready) > 0 {
+		// Some head was ready but nothing fit downstream.
+		r.stalls++
+		if debugStall != nil {
+			debugStall(r.name, now, 1, false)
+		}
+	}
+	// Recompute when stalling would resume if the system goes quiescent:
+	// the first cycle any head is arbitrable — now+1 for heads already
+	// ready (they survived ungranted, so they are blocked), a future
+	// readyAt for heads still traversing their links. Grantable heads
+	// keep the kernel executing, so genuinely skipped cycles past this
+	// point all stall.
+	r.stallFrom = neverStall
+	for _, p := range r.ports {
+		if pk, ok := p.head(); ok {
+			at := pk.readyAt
+			if at <= now {
+				at = now + 1
+			}
+			if at < r.stallFrom {
+				r.stallFrom = at
+			}
 		}
 	}
 }
 
-// selectFor picks the input port to grant for output out, or -1.
-func (r *Router) selectFor(out int, now sim.Cycle) int {
-	bestIdx := -1
-	var best packet
+// headOut returns the routed output of p's head packet, computing and
+// caching it on first use.
+func (r *Router) headOut(p *Port) int {
+	pk := &p.fifo[0]
+	if pk.out < 0 {
+		pk.out = int16(r.route(pk.t))
+	}
+	return int(pk.out)
+}
+
+// selectReady picks the index in r.ready to grant for output out, or -1.
+func (r *Router) selectReady(out int, now sim.Cycle, aging bool) int {
+	sel := -1
 	// Aging pass: any over-age head is served oldest-first.
-	if r.params.AgingT > 0 {
-		for i, p := range r.ports {
-			pk, ok := p.head()
-			if !ok || pk.readyAt > now || r.route(pk.t) != out {
+	if aging {
+		for i, h := range r.ready {
+			if h.out != out || now < h.pk.arrived+r.params.AgingT {
 				continue
 			}
-			if now < pk.arrived+r.params.AgingT {
+			if !r.outputs[out].CanAccept(h.pk.t) {
 				continue
 			}
-			if !r.outputs[out].CanAccept(pk.t) {
-				continue
-			}
-			if bestIdx < 0 || pk.arrived < best.arrived || (pk.arrived == best.arrived && pk.t.ID < best.t.ID) {
-				bestIdx, best = i, pk
+			if sel < 0 || fcfsBefore(h.pk, r.ready[sel].pk) {
+				sel = i
 			}
 		}
-		if bestIdx >= 0 {
-			return bestIdx
+		if sel >= 0 {
+			return sel
 		}
 	}
-	for i, p := range r.ports {
-		pk, ok := p.head()
-		if !ok || pk.readyAt > now || r.route(pk.t) != out {
+	for i, h := range r.ready {
+		if h.out != out || !r.outputs[out].CanAccept(h.pk.t) {
 			continue
 		}
-		if !r.outputs[out].CanAccept(pk.t) {
-			continue
-		}
-		if bestIdx < 0 || r.better(pk, i, best, bestIdx, now) {
-			bestIdx, best = i, pk
+		if sel < 0 || r.better(h.pk, h.idx, r.ready[sel].pk, r.ready[sel].idx, now) {
+			sel = i
 		}
 	}
-	return bestIdx
+	return sel
 }
 
 // better reports whether candidate (pk, idx) beats the incumbent under the

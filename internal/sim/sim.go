@@ -1,5 +1,5 @@
-// Package sim provides the cycle-driven simulation kernel used by every
-// other subsystem: a cycle counter, a deterministic random-number generator,
+// Package sim provides the simulation kernel used by every other
+// subsystem: a cycle counter, a deterministic random-number generator,
 // and a lightweight event scheduler for things that happen at known future
 // cycles (frame boundaries, adaptation ticks, aging sweeps).
 //
@@ -7,66 +7,162 @@
 // components tick in this single clock domain; cross-domain effects (e.g.
 // the LCD panel draining its read buffer in wall-clock time) are expressed
 // as rates converted to bytes-per-cycle at configuration time.
+//
+// The kernel is event-driven with idle skipping: components that implement
+// the optional Idler interface report when they next have work, and the
+// kernel fast-forwards the clock over stretches where every component is
+// quiescent and no event is due, instead of stepping cycle by cycle
+// through dead time. Any cycle in which anything at all happens is still
+// executed in full — every due event fires, every ticker ticks, in
+// registration order — so skipping is observationally identical to
+// cycle-by-cycle stepping as long as Idler contracts are honored.
 package sim
-
-import "container/heap"
 
 // Cycle is a point in simulated time, measured in DRAM command-clock cycles.
 type Cycle uint64
 
 // Ticker is a component that advances by one cycle at a time.
 type Ticker interface {
-	// Tick advances the component to cycle now. The kernel calls Tick
-	// exactly once per cycle, in registration order.
+	// Tick advances the component to cycle now. On every executed cycle
+	// the kernel calls Tick exactly once per ticker, in registration
+	// order. When idle skipping is active, cycles covered by every
+	// ticker's NextActivity hint are not executed at all; components
+	// that integrate time (token buckets, buffer drains) must therefore
+	// derive elapsed time from now rather than counting Tick calls.
 	Tick(now Cycle)
 }
 
-// TickFunc adapts a function to the Ticker interface.
+// Idler is an optional Ticker extension that enables idle skipping. A
+// ticker that implements it promises that, absent any new input from the
+// rest of the system (events, other components' actions), its Tick will
+// not act on the system — enqueue requests, forward packets, issue
+// commands, or mutate externally observable counters — at any cycle
+// strictly before the reported activity cycle.
+//
+// The kernel re-queries the hint after every executed cycle, so the
+// promise only needs to hold until something else runs. Reporting an
+// earlier cycle than necessary is always safe (the kernel merely executes
+// a cycle that turns out to be uneventful); reporting a later cycle than
+// the component's true next action breaks simulation equivalence.
+type Idler interface {
+	// NextActivity reports the earliest cycle >= now at which the
+	// component may act on the system, or ok=false if it will never act
+	// again without external input.
+	NextActivity(now Cycle) (at Cycle, ok bool)
+}
+
+// TickFunc adapts a function to the Ticker interface. It does not
+// implement Idler, so registering one disables idle skipping for the
+// whole kernel (the kernel cannot prove anything about opaque functions).
 type TickFunc func(now Cycle)
 
 // Tick calls f(now).
 func (f TickFunc) Tick(now Cycle) { f(now) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Exactly one of fn and argFn is set;
+// argFn carries a caller-supplied payload so hot paths (transaction
+// completion) can schedule a single long-lived function with a pointer
+// argument instead of allocating a fresh closure per event.
 type event struct {
-	at  Cycle
-	seq uint64 // tie-break so same-cycle events fire in schedule order
-	fn  func(now Cycle)
+	at    Cycle
+	seq   uint64 // tie-break so same-cycle events fire in schedule order
+	fn    func(now Cycle)
+	argFn func(now Cycle, arg any)
+	arg   any
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
+// eventHeap is a min-heap of events ordered by (at, seq), stored by value
+// in a plain slice. Push and pop sift manually instead of going through
+// container/heap, which would box every element in an interface and
+// allocate on the steady-state completion path.
+type eventHeap []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
-	return q[i].seq < q[j].seq
+	return h[i].seq < h[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // clear callback/payload references for the GC
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && q.less(l, s) {
+			s = l
+		}
+		if r < n && q.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i], q[s] = q[s], q[i]
+		i = s
+	}
+	return top
 }
 
 // Kernel owns the clock, the ordered ticker list and the event queue.
-// The zero value is ready to use.
+// The zero value is ready to use, with idle skipping enabled.
 type Kernel struct {
 	now     Cycle
 	tickers []Ticker
-	events  eventQueue
+	// idlers holds the Idler view of every registered ticker. If any
+	// ticker does not implement Idler the kernel cannot prove quiescence
+	// and opaque is set, which disables skipping entirely.
+	idlers  []Idler
+	opaque  bool
+	noSkip  bool
+	events  eventHeap
 	seq     uint64
 	started bool
+	skipped uint64
+	// hot remembers which idler most recently reported immediate
+	// activity; checking it first short-circuits the fast-forward query
+	// on busy stretches, where the same component stays active for many
+	// consecutive cycles.
+	hot int
 }
 
 // Now reports the current cycle.
 func (k *Kernel) Now() Cycle { return k.now }
+
+// SkippedCycles reports how many cycles Run fast-forwarded over instead of
+// executing. It is a diagnostic: (executed + skipped) == Now() for a run
+// started at cycle 0.
+func (k *Kernel) SkippedCycles() uint64 { return k.skipped }
+
+// SetIdleSkip enables or disables idle skipping (enabled by default).
+// Disabling it forces the reference cycle-by-cycle execution, which the
+// equivalence tests compare against.
+func (k *Kernel) SetIdleSkip(on bool) { k.noSkip = !on }
+
+// IdleSkipActive reports whether Run may fast-forward: skipping must be
+// enabled and every registered ticker must implement Idler.
+func (k *Kernel) IdleSkipActive() bool { return !k.noSkip && !k.opaque }
 
 // Register appends t to the per-cycle tick list. Components are ticked in
 // registration order, which the SoC assembly uses to realize the pipeline
@@ -78,13 +174,26 @@ func (k *Kernel) Register(t Ticker) {
 		panic("sim: Register after simulation started")
 	}
 	k.tickers = append(k.tickers, t)
+	if id, ok := t.(Idler); ok {
+		k.idlers = append(k.idlers, id)
+	} else {
+		k.opaque = true
+	}
 }
 
 // At schedules fn to run at cycle at, before that cycle's tickers. If at is
 // in the past the event fires on the next Step.
 func (k *Kernel) At(at Cycle, fn func(now Cycle)) {
 	k.seq++
-	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+	k.events.push(event{at: at, seq: k.seq, fn: fn})
+}
+
+// AtArg schedules fn(now, arg) at cycle at. It exists for hot paths: a
+// single long-lived fn plus a per-event pointer payload schedules without
+// allocating, where a fresh closure per event would not.
+func (k *Kernel) AtArg(at Cycle, fn func(now Cycle, arg any), arg any) {
+	k.seq++
+	k.events.push(event{at: at, seq: k.seq, argFn: fn, arg: arg})
 }
 
 // After schedules fn to run delay cycles from now.
@@ -108,12 +217,16 @@ func (k *Kernel) Every(period Cycle, fn func(now Cycle)) {
 }
 
 // Step advances the simulation by exactly one cycle: due events first, then
-// every registered ticker.
+// every registered ticker. Step never skips.
 func (k *Kernel) Step() {
 	k.started = true
 	for len(k.events) > 0 && k.events[0].at <= k.now {
-		e := heap.Pop(&k.events).(*event)
-		e.fn(k.now)
+		e := k.events.pop()
+		if e.fn != nil {
+			e.fn(k.now)
+		} else {
+			e.argFn(k.now, e.arg)
+		}
 	}
 	for _, t := range k.tickers {
 		t.Tick(k.now)
@@ -122,9 +235,86 @@ func (k *Kernel) Step() {
 }
 
 // Run advances the simulation until the clock reaches horizon (exclusive).
+// When idle skipping is active, quiescent stretches — no event due and
+// every ticker's NextActivity strictly in the future — are fast-forwarded
+// instead of executed.
 func (k *Kernel) Run(horizon Cycle) {
+	if !k.started && len(k.idlers) > 1 {
+		// Query idlers in reverse registration order: assemblies register
+		// pipeline consumers (routers, memory controllers) last, and those
+		// are the components most often active — finding a veto early
+		// short-circuits the fast-forward probe. The set minimum is order
+		// independent, so this is purely a query optimization.
+		for i, j := 0, len(k.idlers)-1; i < j; i, j = i+1, j-1 {
+			k.idlers[i], k.idlers[j] = k.idlers[j], k.idlers[i]
+		}
+	}
+	skip := k.IdleSkipActive()
 	for k.now < horizon {
 		k.Step()
+		if skip && k.now < horizon {
+			k.fastForward(horizon)
+		}
+	}
+}
+
+// NextWake reports the cycle Run would fast-forward to from the current
+// clock — the next due event or the earliest ticker activity — capped at
+// horizon. It does not move the clock; the equivalence tests use it to
+// audit Idler hints against actual behavior.
+func (k *Kernel) NextWake(horizon Cycle) Cycle {
+	return k.nextWake(horizon, false)
+}
+
+// nextWake computes the fast-forward target: the next due event or the
+// earliest ticker activity, capped at horizon; k.now means something is
+// due immediately. With updateHot it remembers which idler vetoed, so
+// the next query can short-circuit on it.
+func (k *Kernel) nextWake(horizon Cycle, updateHot bool) Cycle {
+	target := horizon
+	if len(k.events) > 0 {
+		at := k.events[0].at
+		if at <= k.now {
+			return k.now
+		}
+		if at < target {
+			target = at
+		}
+	}
+	for i, id := range k.idlers {
+		next, ok := id.NextActivity(k.now)
+		if !ok {
+			continue
+		}
+		if next <= k.now {
+			if updateHot {
+				k.hot = i
+			}
+			return k.now
+		}
+		if next < target {
+			target = next
+		}
+	}
+	return target
+}
+
+// fastForward advances the clock to the earliest upcoming activity —
+// the next due event or the earliest ticker wakeup — capped at
+// horizon-1 so the run's final cycle always executes: components defer
+// bookkeeping (batched stall counters) to their next Tick, and that
+// last tick settles anything accrued over a trailing quiescent stretch.
+// It returns without moving the clock if anything is due now.
+func (k *Kernel) fastForward(horizon Cycle) {
+	if h := k.hot; h < len(k.idlers) {
+		if next, ok := k.idlers[h].NextActivity(k.now); ok && next <= k.now {
+			return
+		}
+	}
+	target := k.nextWake(horizon-1, true)
+	if target > k.now {
+		k.skipped += uint64(target - k.now)
+		k.now = target
 	}
 }
 

@@ -199,3 +199,151 @@ func TestRandBoolProbability(t *testing.T) {
 		t.Fatalf("Bool(0.3) frequency %.3f, want ~0.30", frac)
 	}
 }
+
+// fakeIdler is a ticker with a scripted wake schedule.
+type fakeIdler struct {
+	wakes  []Cycle // sorted cycles at which it has work
+	ticked []Cycle // cycles at which Tick observed work
+}
+
+func (f *fakeIdler) Tick(now Cycle) {
+	for len(f.wakes) > 0 && f.wakes[0] <= now {
+		if f.wakes[0] == now {
+			f.ticked = append(f.ticked, now)
+		}
+		f.wakes = f.wakes[1:]
+	}
+}
+
+func (f *fakeIdler) NextActivity(now Cycle) (Cycle, bool) {
+	if len(f.wakes) == 0 {
+		return 0, false
+	}
+	if f.wakes[0] <= now {
+		return now, true
+	}
+	return f.wakes[0], true
+}
+
+func TestKernelIdleSkipJumpsToNextActivity(t *testing.T) {
+	var k Kernel
+	f := &fakeIdler{wakes: []Cycle{3, 100, 5000}}
+	k.Register(f)
+	if !k.IdleSkipActive() {
+		t.Fatal("idle skip should be active with only Idler tickers")
+	}
+	k.Run(10000)
+	if k.Now() != 10000 {
+		t.Fatalf("final cycle %d, want 10000", k.Now())
+	}
+	want := []Cycle{3, 100, 5000}
+	if len(f.ticked) != len(want) {
+		t.Fatalf("ticked at %v, want %v", f.ticked, want)
+	}
+	for i := range want {
+		if f.ticked[i] != want[i] {
+			t.Fatalf("ticked at %v, want %v", f.ticked, want)
+		}
+	}
+	if k.SkippedCycles() == 0 {
+		t.Fatal("no cycles skipped across a 10000-cycle idle run")
+	}
+	if executed := uint64(k.Now()) - k.SkippedCycles(); executed > 10 {
+		t.Fatalf("executed %d cycles, want only the scheduled wakes (plus cycle 0)", executed)
+	}
+}
+
+func TestKernelIdleSkipBoundedByEvents(t *testing.T) {
+	var k Kernel
+	f := &fakeIdler{wakes: []Cycle{9000}}
+	k.Register(f)
+	var fired []Cycle
+	k.Every(1000, func(now Cycle) { fired = append(fired, now) })
+	k.Run(4500)
+	want := []Cycle{1000, 2000, 3000, 4000}
+	if len(fired) != len(want) {
+		t.Fatalf("events fired at %v, want %v", fired, want)
+	}
+}
+
+func TestKernelOpaqueTickerDisablesSkip(t *testing.T) {
+	var k Kernel
+	k.Register(&fakeIdler{})
+	k.Register(TickFunc(func(Cycle) {}))
+	if k.IdleSkipActive() {
+		t.Fatal("TickFunc is opaque; skipping must be disabled")
+	}
+	k.Run(100)
+	if k.SkippedCycles() != 0 {
+		t.Fatalf("skipped %d cycles with an opaque ticker registered", k.SkippedCycles())
+	}
+}
+
+func TestKernelSetIdleSkipOff(t *testing.T) {
+	var k Kernel
+	k.Register(&fakeIdler{wakes: []Cycle{50}})
+	k.SetIdleSkip(false)
+	k.Run(100)
+	if k.SkippedCycles() != 0 {
+		t.Fatalf("skipped %d cycles with skipping disabled", k.SkippedCycles())
+	}
+}
+
+func TestKernelAtArg(t *testing.T) {
+	var k Kernel
+	payload := new(int)
+	*payload = 7
+	var got int
+	k.AtArg(5, func(now Cycle, arg any) { got = *arg.(*int) + int(now) }, payload)
+	k.Run(10)
+	if got != 12 {
+		t.Fatalf("AtArg callback got %d, want 12", got)
+	}
+}
+
+func TestKernelAtArgOrderedWithAt(t *testing.T) {
+	var k Kernel
+	var order []string
+	k.At(3, func(Cycle) { order = append(order, "a") })
+	k.AtArg(3, func(Cycle, any) { order = append(order, "b") }, nil)
+	k.At(3, func(Cycle) { order = append(order, "c") })
+	k.Run(5)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("same-cycle mixed events fired as %v, want [a b c]", order)
+	}
+}
+
+func TestKernelNextWake(t *testing.T) {
+	var k Kernel
+	k.Register(&fakeIdler{wakes: []Cycle{40}})
+	k.At(25, func(Cycle) {})
+	if got := k.NextWake(1000); got != 25 {
+		t.Fatalf("NextWake = %d, want 25 (event before ticker wake)", got)
+	}
+	k.Run(30)
+	if got := k.NextWake(1000); got != 40 {
+		t.Fatalf("NextWake = %d, want 40 (ticker wake)", got)
+	}
+	if got := k.NextWake(35); got != 35 {
+		t.Fatalf("NextWake = %d, want horizon cap 35", got)
+	}
+}
+
+func TestEventHeapManyEvents(t *testing.T) {
+	var k Kernel
+	r := NewRand(9)
+	var fired []Cycle
+	for i := 0; i < 500; i++ {
+		at := Cycle(r.Intn(2000))
+		k.At(at, func(now Cycle) { fired = append(fired, now) })
+	}
+	k.Run(2001)
+	if len(fired) != 500 {
+		t.Fatalf("fired %d events, want 500", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events fired out of order at %d: %d after %d", i, fired[i], fired[i-1])
+		}
+	}
+}

@@ -88,6 +88,30 @@ func (s *ChunkSource) chunkStart() sim.Cycle { return s.nextChunk - s.Period }
 // Name returns the source label.
 func (s *ChunkSource) Name() string { return s.name }
 
+// NextActivity implements sim.Idler: a chunk source is busy while the
+// current chunk still has bytes to issue, waits for its start offset
+// before the first chunk, and otherwise sleeps until the next chunk
+// boundary.
+func (s *ChunkSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
+	if s.nextChunk == 0 {
+		// First Tick initializes the schedule.
+		return now, true
+	}
+	if s.active && s.issuedBytes < s.ChunkBytes && s.engine.PendingSpace() > 0 {
+		return now, true
+	}
+	if !s.active && s.issuedBytes == 0 && s.doneBytes == 0 {
+		// Waiting for the very first chunk start.
+		if s.StartOffset > now {
+			return s.StartOffset, true
+		}
+		return now, true
+	}
+	// Fully issued (waiting on completions, which are events) or between
+	// chunks: nothing to do until the next boundary.
+	return s.nextChunk, true
+}
+
 // ChunkProgress reports the in-flight chunk's completion fraction.
 func (s *ChunkSource) ChunkProgress() float64 {
 	if s.ChunkBytes == 0 {

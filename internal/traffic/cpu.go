@@ -29,7 +29,11 @@ type CPUSource struct {
 	region Region
 	picker kindPicker
 	cursor txn.Addr
-	tokens float64
+
+	rateFP   uint64 // Q32 bytes/cycle
+	reqFP    uint64
+	tokensFP uint64
+	funded   sim.Cycle
 }
 
 // NewCPUSource builds a CPU background source over region r.
@@ -46,24 +50,59 @@ func NewCPUSource(name string, e *dma.Engine, rng *sim.Rand, r Region,
 		region:       r,
 		picker:       kindPicker{readFrac: readFrac, rng: rng},
 		cursor:       r.Base,
+		rateFP:       toFP(ratePerCycle),
+		reqFP:        bytesFP(reqSize),
 	}
 }
 
 // Name returns the source label.
 func (s *CPUSource) Name() string { return s.name }
 
+// integrateTo accumulates tokens so that `total` single-cycle fills have
+// happened since the start of the run.
+func (s *CPUSource) integrateTo(total sim.Cycle) {
+	if total <= s.funded {
+		return
+	}
+	s.tokensFP += s.rateFP * uint64(total-s.funded)
+	s.funded = total
+}
+
+// NextActivity implements sim.Idler: the source acts on the first cycle
+// whose token fill funds one request.
+func (s *CPUSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
+	if s.tokensFP >= s.reqFP {
+		if s.engine.PendingSpace() > 0 {
+			return now, true
+		}
+		return 0, false
+	}
+	if s.rateFP == 0 {
+		return 0, false
+	}
+	steps := ceilDiv(s.reqFP-s.tokensFP, s.rateFP)
+	if steps == 0 {
+		steps = 1
+	}
+	return now + sim.Cycle(steps) - 1, true
+}
+
 // Tick emits rate-funded requests along the locality-mixed address walk.
+// The random walk advances only for requests actually enqueued, and the
+// saturation cap composes as min(tokens + n*rate, cap), so a tick after n
+// fast-forwarded blocked cycles is bit-identical to n blocked
+// single-cycle ticks.
 func (s *CPUSource) Tick(now sim.Cycle) {
-	s.tokens += s.RatePerCycle
-	for s.tokens >= float64(s.ReqSize) {
-		addr := s.nextAddr()
-		if !s.engine.Enqueue(s.picker.pick(), addr, s.ReqSize) {
-			if s.tokens > 8*float64(s.ReqSize) {
-				s.tokens = 8 * float64(s.ReqSize)
+	s.integrateTo(now + 1)
+	for s.tokensFP >= s.reqFP {
+		if s.engine.PendingSpace() == 0 {
+			if s.tokensFP > 8*s.reqFP {
+				s.tokensFP = 8 * s.reqFP
 			}
 			return
 		}
-		s.tokens -= float64(s.ReqSize)
+		s.engine.Enqueue(s.picker.pick(), s.nextAddr(), s.ReqSize)
+		s.tokensFP -= s.reqFP
 	}
 }
 

@@ -1,0 +1,35 @@
+package traffic
+
+import "math"
+
+// The rate-driven sources (display drain, camera fill, token buckets)
+// integrate fractional bytes-per-cycle rates over time. They do it in Q32
+// fixed point rather than float64 because integer accumulation is exactly
+// partition-independent: folding N cycles in one step is bit-identical to
+// N single-cycle steps, regardless of where the simulation kernel happens
+// to break the gap. That property is what lets the idle-skipping kernel
+// fast-forward over quiescent stretches without perturbing results — the
+// equivalence tests compare a skipped run against a cycle-stepped one and
+// demand identical statistics.
+const (
+	fpShift = 32
+	fpOne   = uint64(1) << fpShift
+	fpFrac  = fpOne - 1
+)
+
+// toFP converts a non-negative byte quantity or rate to Q32.
+func toFP(v float64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	return uint64(math.Round(v * float64(fpOne)))
+}
+
+// fromFP converts a Q32 quantity back to float64 (for reporting only).
+func fromFP(v uint64) float64 { return float64(v) / float64(fpOne) }
+
+// bytesFP converts a whole-byte count to Q32.
+func bytesFP(n uint32) uint64 { return uint64(n) << fpShift }
+
+// ceilDiv returns ceil(a/b); b must be positive.
+func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }

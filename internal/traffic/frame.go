@@ -75,6 +75,25 @@ func NewFrameSource(name string, e *dma.Engine, rng *sim.Rand, r Region,
 // Name returns the source label.
 func (s *FrameSource) Name() string { return s.name }
 
+// NextActivity implements sim.Idler: a frame source is busy while it still
+// has frame bytes to hand to the DMA, and otherwise sleeps until its next
+// frame boundary (or its initial start offset). Completions that land in
+// between arrive as kernel events and do not need the source awake.
+func (s *FrameSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
+	if !s.started {
+		if s.StartOffset > now {
+			return s.StartOffset, true
+		}
+		return now, true
+	}
+	if s.issuedBytes < s.BytesPerFrame && s.engine.PendingSpace() > 0 {
+		return now, true
+	}
+	// Frame fully handed to the DMA, or the DMA queue is full (it drains
+	// only through executed cycles): sleep until the frame boundary.
+	return s.frameStart + s.Period, true
+}
+
 // referenceAt computes the reference progress line at cycle now.
 func (s *FrameSource) referenceAt(now sim.Cycle) float64 {
 	if now < s.frameStart {

@@ -53,6 +53,15 @@ func (s *SporadicSource) Name() string { return s.name }
 // well-provisioned system; tests assert it).
 func (s *SporadicSource) Dropped() uint64 { return s.dropped }
 
+// NextActivity implements sim.Idler: the arrival process fires at a known
+// future cycle and Tick is a strict no-op before it.
+func (s *SporadicSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
+	if s.nextArrival > now {
+		return s.nextArrival, true
+	}
+	return now, true
+}
+
 // Tick issues a request whenever the arrival process fires.
 func (s *SporadicSource) Tick(now sim.Cycle) {
 	for now >= s.nextArrival {
@@ -65,7 +74,10 @@ func (s *SporadicSource) Tick(now sim.Cycle) {
 
 // RateSource models steady bandwidth consumers such as WiFi and USB: a
 // token bucket fills at the target rate and requests are emitted in small
-// bursts (bulk-transfer style), walking a region sequentially.
+// bursts (bulk-transfer style), walking a region sequentially. Tokens
+// accumulate in Q32 fixed point keyed off the absolute cycle, so the
+// bucket evolves identically whether the kernel ticks it every cycle or
+// fast-forwards over the accumulation gaps.
 type RateSource struct {
 	name   string
 	engine *dma.Engine
@@ -84,7 +96,12 @@ type RateSource struct {
 	rng    *sim.Rand
 	str    *stream
 	picker kindPicker
-	tokens float64
+
+	rateFP   uint64 // Q32 bytes/cycle
+	reqFP    uint64
+	burstFP  uint64 // Q32 bytes per full burst
+	tokensFP uint64
+	funded   sim.Cycle
 }
 
 // NewRateSource builds a rate-driven source over region r.
@@ -93,7 +110,7 @@ func NewRateSource(name string, e *dma.Engine, rng *sim.Rand, r Region,
 	if burstReqs <= 0 {
 		burstReqs = 1
 	}
-	return &RateSource{
+	s := &RateSource{
 		name:         name,
 		engine:       e,
 		RatePerCycle: ratePerCycle,
@@ -103,33 +120,69 @@ func NewRateSource(name string, e *dma.Engine, rng *sim.Rand, r Region,
 		rng:          rng,
 		str:          newStream(r, reqSize),
 		picker:       kindPicker{readFrac: readFrac, rng: rng},
+		rateFP:       toFP(ratePerCycle),
+		reqFP:        bytesFP(reqSize),
 	}
+	s.burstFP = s.reqFP * uint64(burstReqs)
+	return s
 }
 
 // Name returns the source label.
 func (s *RateSource) Name() string { return s.name }
 
-// Tick accumulates tokens and emits whole bursts when funded.
-func (s *RateSource) Tick(now sim.Cycle) {
-	s.tokens += s.RatePerCycle
-	burstBytes := float64(s.ReqSize) * float64(s.BurstReqs)
-	for s.tokens >= burstBytes {
-		emitted := 0
-		for i := 0; i < s.BurstReqs; i++ {
-			if !s.engine.Enqueue(s.picker.pick(), s.str.next(), s.ReqSize) {
-				break
-			}
-			emitted++
+// integrateTo accumulates tokens so that `total` single-cycle fills have
+// happened since the start of the run.
+func (s *RateSource) integrateTo(total sim.Cycle) {
+	if total <= s.funded {
+		return
+	}
+	s.tokensFP += s.rateFP * uint64(total-s.funded)
+	s.funded = total
+}
+
+// NextActivity implements sim.Idler: the source acts on the first cycle
+// whose token fill completes a burst.
+func (s *RateSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
+	if s.tokensFP >= s.burstFP {
+		if s.engine.PendingSpace() > 0 {
+			return now, true
 		}
-		if emitted == 0 {
+		// Saturated: Tick only clamps the bucket, which one batched
+		// clamp reproduces exactly at the next executed cycle.
+		return 0, false
+	}
+	if s.rateFP == 0 {
+		return 0, false
+	}
+	steps := ceilDiv(s.burstFP-s.tokensFP, s.rateFP)
+	if steps == 0 {
+		steps = 1
+	}
+	return now + sim.Cycle(steps) - 1, true
+}
+
+// Tick accumulates tokens and emits whole bursts when funded. The random
+// stream is consumed only for requests that are actually enqueued, and
+// the saturation cap composes as min(tokens + n*rate, cap) — both
+// properties keep a tick after n fast-forwarded blocked cycles
+// bit-identical to n blocked single-cycle ticks.
+func (s *RateSource) Tick(now sim.Cycle) {
+	s.integrateTo(now + 1)
+	for s.tokensFP >= s.burstFP {
+		if s.engine.PendingSpace() == 0 {
 			// DMA saturated: stop accumulating unbounded debt so the
 			// source does not flood the instant space frees up. Cap the
 			// bucket at a few bursts.
-			if s.tokens > 4*burstBytes {
-				s.tokens = 4 * burstBytes
+			if s.tokensFP > 4*s.burstFP {
+				s.tokensFP = 4 * s.burstFP
 			}
 			return
 		}
-		s.tokens -= float64(emitted) * float64(s.ReqSize)
+		emitted := uint64(0)
+		for i := 0; i < s.BurstReqs && s.engine.PendingSpace() > 0; i++ {
+			s.engine.Enqueue(s.picker.pick(), s.str.next(), s.ReqSize)
+			emitted++
+		}
+		s.tokensFP -= emitted * s.reqFP
 	}
 }

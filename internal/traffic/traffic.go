@@ -14,13 +14,19 @@ import (
 	"sara/internal/txn"
 )
 
-// Source drives one DMA engine. Tick is called once per cycle before the
-// DMA injects.
+// Source drives one DMA engine. Tick is called on every executed cycle,
+// before the DMA injects; the kernel may fast-forward over cycles the
+// NextActivity hint declares quiescent, so sources integrate time from
+// the cycle number rather than counting Tick calls.
 type Source interface {
 	// Name labels the source (usually the DMA name).
 	Name() string
 	// Tick generates requests for cycle now.
 	Tick(now sim.Cycle)
+	// NextActivity reports the source's next self-generated work, per
+	// the sim.Idler contract. Embedding it in the interface guarantees
+	// every assembled system supports idle skipping.
+	sim.Idler
 }
 
 // Region is the physical address range a DMA walks. Regions are assigned

@@ -135,7 +135,7 @@ func TestCameraSourceOverflow(t *testing.T) {
 	for now := sim.Cycle(0); now < 10000; now++ {
 		h.step(now, src)
 	}
-	if src.OverflowBytes == 0 {
+	if src.OverflowBytes() == 0 {
 		t.Fatal("starved camera never overflowed")
 	}
 }
@@ -146,8 +146,8 @@ func TestCameraSourceKeepsUp(t *testing.T) {
 	for now := sim.Cycle(0); now < 20000; now++ {
 		h.step(now, src)
 	}
-	if src.OverflowBytes != 0 {
-		t.Fatalf("healthy camera overflowed %.0f bytes", src.OverflowBytes)
+	if src.OverflowBytes() != 0 {
+		t.Fatalf("healthy camera overflowed %.0f bytes", src.OverflowBytes())
 	}
 	if occ := src.Occupancy(); occ > 0.2 {
 		t.Fatalf("healthy camera occupancy %.2f, want near empty", occ)

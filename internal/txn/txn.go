@@ -123,6 +123,39 @@ type Transaction struct {
 	// Complete is the cycle the response reached the DMA (reads) or the
 	// write was accepted by DRAM and acknowledged.
 	Complete sim.Cycle
+
+	// RowPath is memory-controller scratch: it records whether the
+	// transaction needed an activate or a precharge before its CAS, for
+	// the row-locality statistics. Living on the transaction keeps the
+	// controller's hot path free of map lookups.
+	RowPath uint8
+}
+
+// Pool recycles Transactions so the steady-state inject/complete path
+// allocates nothing. The simulator is single-threaded, so a plain
+// free-list suffices (no sync.Pool locking or per-P sharding).
+//
+// Get does not zero the transaction; the issuing DMA overwrites every
+// field. Put must only be called once the transaction has fully left the
+// system (after the completion observers ran).
+type Pool struct {
+	free []*Transaction
+}
+
+// Get returns a recycled transaction, or a fresh one if the pool is empty.
+func (p *Pool) Get() *Transaction {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return t
+	}
+	return new(Transaction)
+}
+
+// Put returns t to the pool for reuse.
+func (p *Pool) Put(t *Transaction) {
+	p.free = append(p.free, t)
 }
 
 // Latency reports the end-to-end cycles from NoC injection to completion.
