@@ -26,6 +26,21 @@ func TestSteadyStateAllocations(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocationsRefresh pins the refresh-enabled hot path:
+// the refresh state machine (forced drains, opportunistic pull-in, wake
+// recomputation) must run entirely on preallocated state.
+func TestSteadyStateAllocationsRefresh(t *testing.T) {
+	sys := sara.Build(sara.Camcorder(sara.CaseA, sara.WithPolicy(sara.QoS), sara.WithRefresh(true)))
+	sys.RunFrames(1)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		sys.Run(1000)
+	})
+	if allocs > 2 {
+		t.Fatalf("refresh-enabled steady state allocates %.1f times per 1000 cycles, want <= 2", allocs)
+	}
+}
+
 // TestSteadyStateAllocationsReference pins the cycle-stepped reference
 // path too: allocation freedom must not depend on idle skipping.
 func TestSteadyStateAllocationsReference(t *testing.T) {

@@ -206,6 +206,20 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(100*float64(sys.Kernel().SkippedCycles())/float64(sys.Now()), "%skipped")
 }
 
+// BenchmarkSimulatorThroughputRefresh measures the full case A system
+// with LPDDR4 refresh enabled: the refresh state machine rides the same
+// timing-gate machinery, so throughput should stay close to the
+// refresh-free number and allocs/op should stay at 0.
+func BenchmarkSimulatorThroughputRefresh(b *testing.B) {
+	sys := sara.Build(sara.Camcorder(sara.CaseA, sara.WithRefresh(true)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(1000)
+	}
+	b.ReportMetric(1000, "cycles/op")
+	b.ReportMetric(100*float64(sys.Kernel().SkippedCycles())/float64(sys.Now()), "%skipped")
+}
+
 // BenchmarkSimulatorThroughputReference measures the same system with
 // idle skipping disabled — the cycle-stepped reference path the
 // equivalence tests compare against. The gap between this and

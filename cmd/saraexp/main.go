@@ -26,9 +26,10 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (5..9); 0 = all")
 	scale := flag.Int("scale", 256, "time-scale divisor (larger = faster, coarser)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	refresh := flag.Bool("refresh", false, "enable LPDDR4 refresh (tREFI/tRFC) in every run")
 	flag.Parse()
 
-	opt := sara.ExpOptions{ScaleDiv: *scale, Seed: *seed}
+	opt := sara.ExpOptions{ScaleDiv: *scale, Seed: *seed, Refresh: *refresh}
 
 	runAll := *fig == 0
 	if runAll || *fig == 5 {

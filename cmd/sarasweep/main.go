@@ -1,10 +1,16 @@
 // Command sarasweep runs the design-space sweeps DESIGN.md calls out as
 // ablations: Policy 2's row-buffer threshold delta, the priority
-// quantization k, and the aging limit T.
+// quantization k, the aging limit T, the refresh on/off comparison and a
+// seed fan-out with confidence intervals.
 //
 //	sarasweep -sweep delta
 //	sarasweep -sweep bits
 //	sarasweep -sweep aging
+//	sarasweep -sweep refresh
+//	sarasweep -sweep seeds
+//
+// The -refresh flag enables LPDDR4 refresh in the delta/bits/aging/seeds
+// sweeps so any ablation can be re-run under refresh pressure.
 package main
 
 import (
@@ -13,6 +19,8 @@ import (
 	"log"
 
 	"sara"
+	"sara/internal/config"
+	"sara/internal/exp"
 	"sara/internal/memctrl"
 	"sara/internal/txn"
 )
@@ -21,17 +29,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sarasweep: ")
 
-	sweep := flag.String("sweep", "delta", "sweep to run: delta|bits|aging")
+	sweep := flag.String("sweep", "delta", "sweep to run: delta|bits|aging|refresh|seeds")
 	scale := flag.Int("scale", 256, "time-scale divisor")
+	refresh := flag.Bool("refresh", false, "enable LPDDR4 refresh (tREFI/tRFC) in the sweep")
 	flag.Parse()
 
 	switch *sweep {
 	case "delta":
-		sweepDelta(*scale)
+		sweepDelta(*scale, *refresh)
 	case "bits":
-		sweepBits(*scale)
+		sweepBits(*scale, *refresh)
 	case "aging":
-		sweepAging(*scale)
+		sweepAging(*scale, *refresh)
+	case "refresh":
+		sweepRefresh(*scale)
+	case "seeds":
+		sweepSeeds(*scale, *refresh)
 	default:
 		log.Fatalf("unknown sweep %q", *sweep)
 	}
@@ -39,13 +52,14 @@ func main() {
 
 // sweepDelta varies Policy 2's threshold: higher delta favors row hits
 // (bandwidth) at growing risk to urgent transactions (worst-case NPI).
-func sweepDelta(scale int) {
+func sweepDelta(scale int, refresh bool) {
 	fmt.Println("delta  bandwidth(GB/s)  worst min NPI (critical cores)")
 	for delta := 0; delta <= 8; delta += 2 {
 		cfg := sara.Saturated(
 			sara.WithPolicy(memctrl.QoSRB),
 			sara.WithScaleDiv(scale),
-			sara.WithDelta(txn.Priority(min(delta, 7))))
+			sara.WithDelta(txn.Priority(min(delta, 7))),
+			sara.WithRefresh(refresh))
 		if delta == 8 {
 			// delta = 8 means "row hits always win" (no priority override).
 			cfg.Delta = 8
@@ -67,13 +81,14 @@ func sweepDelta(scale int) {
 }
 
 // sweepBits varies the priority quantization k in 1..4 under Policy 1.
-func sweepBits(scale int) {
+func sweepBits(scale int, refresh bool) {
 	fmt.Println("bits  levels  worst min NPI (case A, QoS)")
 	for bits := 1; bits <= 4; bits++ {
 		cfg := sara.Camcorder(sara.CaseA,
 			sara.WithPolicy(memctrl.QoS),
 			sara.WithScaleDiv(scale),
-			sara.WithPriorityBits(bits))
+			sara.WithPriorityBits(bits),
+			sara.WithRefresh(refresh))
 		// Per-core LUT overrides are sized for 8 levels; drop them when
 		// sweeping other quantizations.
 		if bits != 3 {
@@ -96,13 +111,14 @@ func sweepBits(scale int) {
 }
 
 // sweepAging varies the starvation limit T under Policy 1.
-func sweepAging(scale int) {
+func sweepAging(scale int, refresh bool) {
 	fmt.Println("agingT  worst min NPI (case A, QoS)")
 	for _, t := range []uint64{1000, 10000, 100000, 0} {
 		cfg := sara.Camcorder(sara.CaseA,
 			sara.WithPolicy(memctrl.QoS),
 			sara.WithScaleDiv(scale),
-			sara.WithAgingT(sara.Cycle(t)))
+			sara.WithAgingT(sara.Cycle(t)),
+			sara.WithRefresh(refresh))
 		sys := sara.Build(cfg)
 		sys.RunFrames(1)
 		from := sys.Now()
@@ -118,5 +134,51 @@ func sweepAging(scale int) {
 			label = "off"
 		}
 		fmt.Printf("%6s  %.3f\n", label, worst)
+	}
+}
+
+// sweepRefresh compares the saturated workload with refresh off and on:
+// how much bandwidth the tREFI cadence steals and what it costs the
+// worst-case NPI under both row-aware policies.
+func sweepRefresh(scale int) {
+	fmt.Println("policy     refresh  bandwidth(GB/s)  refreshes  blackout%  worst min NPI")
+	for _, policy := range []memctrl.PolicyKind{memctrl.QoS, memctrl.QoSRB} {
+		for _, on := range []bool{false, true} {
+			cfg := sara.Saturated(
+				sara.WithPolicy(policy),
+				sara.WithScaleDiv(scale),
+				sara.WithRefresh(on))
+			sys := sara.Build(cfg)
+			sys.RunFrames(1)
+			from := sys.Now()
+			before := sys.DRAM().Stats()
+			sys.RunFrames(1)
+			worst := 1e9
+			for _, v := range sys.MinNPIByCore(from) {
+				if v < worst {
+					worst = v
+				}
+			}
+			label := "off"
+			if on {
+				label = "on"
+			}
+			fmt.Printf("%-9s  %-7s  %15.2f  %9d  %8.1f%%  %.3f\n",
+				policy, label,
+				sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()),
+				sys.DRAM().Stats().Totals().Refreshes,
+				100*sys.DRAM().RefreshDuty(sys.Now()), worst)
+		}
+	}
+}
+
+// sweepSeeds fans one (case, policy) across seeds through the parallel
+// harness and reports the across-seed confidence intervals.
+func sweepSeeds(scale int, refresh bool) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	opt := exp.Options{ScaleDiv: scale, Refresh: refresh}
+	for _, policy := range []memctrl.PolicyKind{memctrl.QoS, memctrl.FCFS} {
+		runs := exp.RunSeeds(config.CaseA, policy, seeds, opt)
+		fmt.Print(exp.FormatSeedSummary(runs))
 	}
 }

@@ -99,6 +99,65 @@ func TestIdleSkipEquivalence(t *testing.T) {
 	}
 }
 
+// TestIdleSkipEquivalenceRefresh repeats the aggregate equivalence check
+// with LPDDR4 refresh enabled: the refresh state machine (tREFI accrual,
+// forced drains, tRFC blackouts) must behave identically whether the
+// kernel steps every cycle or fast-forwards between timing gates, and the
+// run must actually exercise refresh.
+func TestIdleSkipEquivalenceRefresh(t *testing.T) {
+	build := func(policy sara.Policy, skip bool) *sara.System {
+		sys := sara.Build(sara.Camcorder(sara.CaseA,
+			sara.WithPolicy(policy), sara.WithRefresh(true)))
+		sys.Kernel().SetIdleSkip(skip)
+		return sys
+	}
+	for _, policy := range []sara.Policy{sara.QoS, sara.QoSRB, sara.FRFCFS} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			ref := build(policy, false)
+			fast := build(policy, true)
+			ref.RunFrames(2)
+			fast.RunFrames(2)
+
+			if got := fast.Kernel().SkippedCycles(); got == 0 {
+				t.Fatal("refresh-enabled run skipped no cycles; the fast path did not engage")
+			}
+			refDRAM, fastDRAM := ref.DRAM().Stats(), fast.DRAM().Stats()
+			for ch := range refDRAM.Channels {
+				if refDRAM.Channels[ch] != fastDRAM.Channels[ch] {
+					t.Errorf("DRAM channel %d stats differ:\n  reference: %+v\n  skipping:  %+v",
+						ch, refDRAM.Channels[ch], fastDRAM.Channels[ch])
+				}
+			}
+			if refDRAM.Totals().Refreshes == 0 {
+				t.Fatal("refresh-enabled run issued no REF commands")
+			}
+			refCtrls, fastCtrls := ref.Controllers(), fast.Controllers()
+			var refreshes uint64
+			for i := range refCtrls {
+				rs, fs := refCtrls[i].Stats(), fastCtrls[i].Stats()
+				if rs != fs {
+					t.Errorf("controller %d stats differ:\n  reference: %+v\n  skipping:  %+v", i, rs, fs)
+				}
+				refreshes += rs.Refreshes
+			}
+			if refreshes != refDRAM.Totals().Refreshes {
+				t.Errorf("controller REF count %d disagrees with device count %d",
+					refreshes, refDRAM.Totals().Refreshes)
+			}
+			refNPI, fastNPI := ref.MinNPIByCore(0), fast.MinNPIByCore(0)
+			for core, v := range refNPI {
+				if fv, ok := fastNPI[core]; !ok || v != fv {
+					t.Errorf("core %q min NPI: reference %v, idle-skipping %v (ok=%v)", core, v, fv, ok)
+				}
+			}
+			if duty := ref.DRAM().RefreshDuty(ref.Now()); duty <= 0 || duty > 0.2 {
+				t.Errorf("refresh duty %v outside the plausible (0, 0.2] band", duty)
+			}
+		})
+	}
+}
+
 // TestIdleSkipEquivalenceSeries pins the sampled NPI time series — the
 // data behind the paper's figures — to be bit-identical between the two
 // execution modes.

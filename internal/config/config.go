@@ -64,6 +64,22 @@ func WithDataRate(mtps int) Option {
 	return func(c *core.Config) { c.DRAM.DataRateMTps = mtps }
 }
 
+// WithRefresh enables (or disables) LPDDR4 per-rank all-bank refresh with
+// the JEDEC defaults for the configuration's data rate (tREFI = 3.904 us,
+// tRFCab = 280 ns, 8-deep postponement window). Apply it after
+// WithDataRate so the cycle conversion uses the final clock. Refresh is
+// off by default: the paper's evaluation does not state a refresh policy,
+// and the refresh-free model remains the bit-identical baseline.
+func WithRefresh(on bool) Option {
+	return func(c *core.Config) {
+		if on {
+			c.DRAM.Refresh = c.DRAM.DefaultRefresh()
+		} else {
+			c.DRAM.Refresh = dram.RefreshConfig{}
+		}
+	}
+}
+
 // WithDelta overrides Policy 2's row-buffer threshold.
 func WithDelta(delta txn.Priority) Option {
 	return func(c *core.Config) { c.Delta = delta }

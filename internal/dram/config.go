@@ -1,14 +1,17 @@
 // Package dram implements a cycle-accurate LPDDR4 DRAM model in the spirit
 // of DRAMSim2: channels, ranks and banks with open-page row buffers, the
 // full set of inter-command timing constraints from the paper's Table 1
-// (CL, tRCD, tRP, tWTR, tRTP, tWR, tRRD, tFAW), a shared data bus per
-// channel, and row-hit/miss/conflict accounting.
+// (CL, tRCD, tRP, tWTR, tRTP, tWR, tRRD, tFAW), per-rank all-bank refresh
+// (tREFI, tRFC, the JEDEC 8-deep postponement/pull-in window), a shared
+// data bus per channel, and row-hit/miss/conflict accounting.
 //
-// The model is passive: it exposes CanActivate/CanRead/... predicates and
-// the corresponding command issuers, and the memory controller drives it
-// one command per channel per cycle. All state is expressed as
-// "earliest cycle at which X may happen" timestamps, so no per-cycle
-// bookkeeping is needed inside the DRAM itself.
+// The model is passive: it exposes CanActivate/CanRead/CanRefresh/...
+// predicates and the corresponding command issuers, and the memory
+// controller drives it one command per channel per cycle. All state is
+// expressed as "earliest cycle at which X may happen" timestamps — a REF,
+// for example, simply pushes every activate gate of its rank past the
+// tRFC blackout — so no per-cycle bookkeeping is needed inside the DRAM
+// itself.
 package dram
 
 import (
@@ -58,6 +61,40 @@ func PaperTiming() Timing {
 // BurstCycles reports how many command-clock cycles one burst occupies the
 // data bus (BL beats at two beats per clock).
 func (t Timing) BurstCycles() sim.Cycle { return sim.Cycle(t.BL / 2) }
+
+// RefreshConfig parameterizes per-rank all-bank refresh (REFab). The zero
+// value disables refresh entirely, preserving the refresh-free model.
+type RefreshConfig struct {
+	// Enabled turns refresh modeling on.
+	Enabled bool
+	// TREFI is the average refresh interval in command-clock cycles: one
+	// refresh becomes owed per rank every TREFI cycles.
+	TREFI sim.Cycle
+	// TRFC is the refresh cycle time: after a REF issues, the rank accepts
+	// no command for TRFC cycles (the blackout).
+	TRFC sim.Cycle
+	// Window is the JEDEC postponement/pull-in depth: at most Window
+	// refreshes may be postponed past their tREFI slots, and at most
+	// Window may be banked in advance (LPDDR4: 8).
+	Window int
+}
+
+// Validate reports an error for non-physical refresh settings.
+func (r RefreshConfig) Validate() error {
+	if !r.Enabled {
+		return nil
+	}
+	if r.TREFI == 0 || r.TRFC == 0 {
+		return fmt.Errorf("dram: refresh enabled with tREFI=%d tRFC=%d; both must be non-zero", r.TREFI, r.TRFC)
+	}
+	if r.TRFC >= r.TREFI {
+		return fmt.Errorf("dram: tRFC (%d) must be below tREFI (%d)", r.TRFC, r.TREFI)
+	}
+	if r.Window < 1 {
+		return fmt.Errorf("dram: refresh window %d must be at least 1", r.Window)
+	}
+	return nil
+}
 
 // Validate reports an error for non-physical settings.
 func (t Timing) Validate() error {
@@ -124,6 +161,8 @@ type Config struct {
 	// (e.g. 1866). The command clock runs at half that rate, and one
 	// simulator cycle equals one command-clock cycle.
 	DataRateMTps int
+	// Refresh models per-rank all-bank refresh; the zero value disables it.
+	Refresh RefreshConfig
 }
 
 // PaperConfig returns the Table 1 configuration at the given data rate.
@@ -133,6 +172,18 @@ func PaperConfig(mtps int) Config {
 
 // ClockHz reports the command-clock frequency in hertz.
 func (c Config) ClockHz() float64 { return float64(c.DataRateMTps) / 2 * 1e6 }
+
+// DefaultRefresh returns JEDEC LPDDR4 all-bank refresh timing for an 8 Gb
+// die at this configuration's command clock — tREFI = 3.904 us, tRFCab =
+// 280 ns — with the standard 8-deep postponement/pull-in window.
+func (c Config) DefaultRefresh() RefreshConfig {
+	return RefreshConfig{
+		Enabled: true,
+		TREFI:   c.CyclesFromSeconds(3.904e-6),
+		TRFC:    c.CyclesFromSeconds(280e-9),
+		Window:  8,
+	}
+}
 
 // BytesPerCycle converts a real-time rate in bytes/second into the
 // bytes-per-command-clock-cycle the simulator works in.
@@ -161,6 +212,9 @@ func (c Config) Validate() error {
 	}
 	if c.DataRateMTps <= 0 {
 		return fmt.Errorf("dram: data rate must be positive, got %d", c.DataRateMTps)
+	}
+	if err := c.Refresh.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -45,6 +45,14 @@ type rank struct {
 	actCount   uint64
 	lastAct    sim.Cycle // for tRRD
 	hasAct     bool
+
+	// All-bank refresh bookkeeping. refBoundary is the next tREFI slot
+	// not yet accounted for; refOwed counts refreshes due (negative when
+	// pulled in ahead of schedule); refBlackoutEnd is the end of the
+	// current tRFC blackout.
+	refBoundary    sim.Cycle
+	refOwed        int
+	refBlackoutEnd sim.Cycle
 }
 
 // channel bundles the state of one data bus.
@@ -61,6 +69,7 @@ type channel struct {
 	bytesMoved  uint64
 	activates   uint64
 	precharges  uint64
+	refreshes   uint64
 }
 
 // DRAM is the device model. It is driven by the memory controller(s); it
@@ -90,7 +99,7 @@ func New(cfg Config) *DRAM {
 		panic(err)
 	}
 	g := cfg.Geometry
-	return &DRAM{
+	d := &DRAM{
 		cfg:      cfg,
 		mapper:   NewAddressMapper(g, cfg.Timing),
 		banks:    make([]bank, g.Channels*g.Ranks*g.Banks),
@@ -99,6 +108,18 @@ func New(cfg Config) *DRAM {
 		nRanks:   g.Ranks,
 		nBanks:   g.Banks,
 	}
+	if cfg.Refresh.Enabled {
+		// Stagger each rank's tREFI phase across the whole device so the
+		// per-rank blackouts spread over the interval instead of every
+		// rank hitting its postponement wall at the same boundary — an
+		// aligned cadence turns forced refresh into a periodic all-rank
+		// drain storm that freezes the entire memory system at once.
+		n := sim.Cycle(len(d.ranks))
+		for i := range d.ranks {
+			d.ranks[i].refBoundary = cfg.Refresh.TREFI + sim.Cycle(i)*cfg.Refresh.TREFI/n
+		}
+	}
+	return d
 }
 
 // Config returns the configuration the device was built with.
@@ -313,6 +334,125 @@ func (d *DRAM) Write(loc Location, now sim.Cycle) sim.Cycle {
 	return dataEnd
 }
 
+// --- Refresh ---
+//
+// Refresh is modeled as per-rank all-bank REF (LPDDR4 REFab): every tREFI
+// cycles a rank owes one refresh, the owed count may swing within the
+// JEDEC postponement/pull-in window, and an issued REF blacks the rank out
+// for tRFC. The blackout needs no gating beyond the activate timestamps:
+// REF requires every bank closed, and a closed bank admits no command
+// until its activate gate — which REF pushes past the blackout — opens.
+
+// RefreshEnabled reports whether the device models refresh.
+func (d *DRAM) RefreshEnabled() bool { return d.cfg.Refresh.Enabled }
+
+func (d *DRAM) chRank(ch, r int) *rank { return &d.ranks[ch*d.nRanks+r] }
+
+// syncRefresh advances rank bookkeeping to now: every elapsed tREFI slot
+// adds one owed refresh. It is idempotent for a fixed now, so the state is
+// a pure function of simulated time regardless of how often callers query
+// it — the property the skip-vs-step equivalence relies on.
+func (d *DRAM) syncRefresh(rk *rank, now sim.Cycle) {
+	for rk.refBoundary <= now {
+		rk.refOwed++
+		rk.refBoundary += d.cfg.Refresh.TREFI
+	}
+}
+
+// RefreshOwed reports how many refreshes rank r of channel ch owes at
+// cycle now (negative when refreshes have been pulled in ahead of
+// schedule), or zero on a refresh-free device.
+func (d *DRAM) RefreshOwed(ch, r int, now sim.Cycle) int {
+	if !d.cfg.Refresh.Enabled {
+		return 0 // syncRefresh would spin on a zero tREFI
+	}
+	rk := d.chRank(ch, r)
+	d.syncRefresh(rk, now)
+	return rk.refOwed
+}
+
+// RefreshForced reports whether rank r's postponement window is exhausted
+// at now: the controller must drain the rank and issue REF before serving
+// it further.
+func (d *DRAM) RefreshForced(ch, r int, now sim.Cycle) bool {
+	if !d.cfg.Refresh.Enabled {
+		return false
+	}
+	return d.RefreshOwed(ch, r, now) >= d.cfg.Refresh.Window
+}
+
+// NextRefreshBoundary reports the first tREFI slot strictly after now, or
+// zero on a refresh-free device.
+func (d *DRAM) NextRefreshBoundary(ch, r int, now sim.Cycle) sim.Cycle {
+	if !d.cfg.Refresh.Enabled {
+		return 0 // syncRefresh would spin on a zero tREFI
+	}
+	rk := d.chRank(ch, r)
+	d.syncRefresh(rk, now)
+	return rk.refBoundary
+}
+
+// RefreshReadyAt reports when a REF to rank r could issue absent further
+// commands: allClosed is false while some bank still holds an open row (a
+// precharge must come first); otherwise at is the earliest cycle every
+// bank's activate gate — which folds tRP after PRE and tRFC after REF —
+// has opened.
+func (d *DRAM) RefreshReadyAt(ch, r int) (at sim.Cycle, allClosed bool) {
+	base := (ch*d.nRanks + r) * d.nBanks
+	for b := 0; b < d.nBanks; b++ {
+		bk := &d.banks[base+b]
+		if bk.state != BankClosed {
+			return 0, false
+		}
+		if bk.nextActivate > at {
+			at = bk.nextActivate
+		}
+	}
+	return at, true
+}
+
+// CanRefresh reports whether a REF to rank r of channel ch may issue at
+// now: refresh enabled, every bank closed and past its activate gate, and
+// pull-in capacity left in the window.
+func (d *DRAM) CanRefresh(ch, r int, now sim.Cycle) bool {
+	if !d.cfg.Refresh.Enabled {
+		return false
+	}
+	rk := d.chRank(ch, r)
+	d.syncRefresh(rk, now)
+	if rk.refOwed <= -d.cfg.Refresh.Window {
+		return false
+	}
+	at, closed := d.RefreshReadyAt(ch, r)
+	return closed && now >= at
+}
+
+// Refresh issues an all-bank REF to rank r of channel ch. The caller must
+// have checked CanRefresh. Every bank's activate gate moves past the tRFC
+// blackout; no command can reach a closed bank before that gate opens.
+func (d *DRAM) Refresh(ch, r int, now sim.Cycle) {
+	if !d.CanRefresh(ch, r, now) {
+		panic(fmt.Sprintf("dram: illegal REF at %d to channel %d rank %d", now, ch, r))
+	}
+	end := now + d.cfg.Refresh.TRFC
+	base := (ch*d.nRanks + r) * d.nBanks
+	for b := 0; b < d.nBanks; b++ {
+		bk := &d.banks[base+b]
+		bk.nextActivate = maxCycle(bk.nextActivate, end)
+	}
+	rk := d.chRank(ch, r)
+	rk.refOwed--
+	rk.refBlackoutEnd = end
+	d.channels[ch].refreshes++
+}
+
+// BlackoutEnd reports the end of rank r's most recent tRFC blackout (zero
+// before the first REF). Cycles in [end-tRFC, end) admit no command to
+// the rank; the refresh property tests audit command streams against it.
+func (d *DRAM) BlackoutEnd(ch, r int) sim.Cycle {
+	return d.chRank(ch, r).refBlackoutEnd
+}
+
 // --- Scan snapshots ---
 //
 // A controller's queue scan evaluates every queued transaction against
@@ -342,6 +482,12 @@ type ScanState struct {
 	ChWrite sim.Cycle
 	// RankAct[r] is rank r's ACT gate from tRRD and tFAW.
 	RankAct []sim.Cycle
+	// RefBlocked[r] marks rank r as closed to new transaction commands
+	// because its refresh postponement window is exhausted and the
+	// controller is draining it for a forced REF. The controller maintains
+	// it from the device's RefreshForced state; the queue scan treats it
+	// as an absolute timing gate.
+	RefBlocked []bool
 	// Banks is indexed by rank*Banks+bank (the controller's bankKey).
 	Banks []BankScan
 }
@@ -349,6 +495,7 @@ type ScanState struct {
 // InitScan sizes s for this device's geometry.
 func (d *DRAM) InitScan(s *ScanState) {
 	s.RankAct = make([]sim.Cycle, d.nRanks)
+	s.RefBlocked = make([]bool, d.nRanks)
 	s.Banks = make([]BankScan, d.nRanks*d.nBanks)
 }
 
@@ -379,6 +526,17 @@ func (d *DRAM) RefreshScanBank(ch int, loc Location, s *ScanState) {
 		NextWrite:  bk.nextWrite,
 		NextPre:    bk.nextPrecharge,
 		NextAct:    bk.nextActivate,
+	}
+}
+
+// RefreshScanRank re-reads the activate gates a just-issued REF moved —
+// every bank of the rank — leaving CAS, precharge and channel gates
+// untouched (REF changes nothing else).
+func (d *DRAM) RefreshScanRank(ch, r int, s *ScanState) {
+	base := (ch*d.nRanks + r) * d.nBanks
+	out := s.Banks[r*d.nBanks:]
+	for b := 0; b < d.nBanks; b++ {
+		out[b].NextAct = d.banks[base+b].nextActivate
 	}
 }
 

@@ -9,6 +9,7 @@ type ChannelStats struct {
 	BytesMoved  uint64
 	Activates   uint64
 	Precharges  uint64
+	Refreshes   uint64
 }
 
 // Stats aggregates counters across channels.
@@ -25,6 +26,7 @@ func (s Stats) Totals() ChannelStats {
 		t.BytesMoved += c.BytesMoved
 		t.Activates += c.Activates
 		t.Precharges += c.Precharges
+		t.Refreshes += c.Refreshes
 	}
 	return t
 }
@@ -40,6 +42,7 @@ func (d *DRAM) Stats() Stats {
 			BytesMoved:  c.bytesMoved,
 			Activates:   c.activates,
 			Precharges:  c.precharges,
+			Refreshes:   c.refreshes,
 		}
 	}
 	return s
@@ -70,6 +73,18 @@ func (d *DRAM) AverageBandwidthGBps(now sim.Cycle) float64 {
 	t := d.Stats().Totals()
 	seconds := float64(now) / d.cfg.ClockHz()
 	return float64(t.BytesMoved) / seconds / 1e9
+}
+
+// RefreshDuty reports the fraction of rank-cycles up to now spent in a
+// tRFC blackout — the bandwidth ceiling the refresh cadence steals from
+// every scheduling policy. It is zero when refresh is disabled.
+func (d *DRAM) RefreshDuty(now sim.Cycle) float64 {
+	if now == 0 || !d.cfg.Refresh.Enabled {
+		return 0
+	}
+	refs := d.Stats().Totals().Refreshes
+	rankCycles := float64(now) * float64(len(d.channels)*d.nRanks)
+	return float64(refs) * float64(d.cfg.Refresh.TRFC) / rankCycles
 }
 
 // BandwidthOverWindowGBps reports bytes moved between two stats snapshots

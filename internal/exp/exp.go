@@ -34,6 +34,11 @@ type Options struct {
 	MeasureFrames int
 	// Seed is the workload seed.
 	Seed uint64
+	// Refresh enables LPDDR4 all-bank refresh (tREFI/tRFC at the JEDEC
+	// defaults for the run's data rate) in every built system, so any
+	// figure can be regenerated with refresh pressure included. Off by
+	// default, matching the refresh-free baseline.
+	Refresh bool
 	// Workers bounds the number of (case, policy, frequency) runs
 	// executed concurrently: 0 selects GOMAXPROCS, 1 forces serial
 	// execution. Every run owns its own kernel, system and forked RNG
@@ -120,6 +125,11 @@ type PolicyRun struct {
 	// RowHitRate is the fraction of CAS commands served without a fresh
 	// activate, over the whole run.
 	RowHitRate float64
+	// Refreshes counts REF commands issued across all channels (zero when
+	// refresh is disabled); RefreshDuty is the fraction of rank-cycles
+	// spent in tRFC blackout over the whole run.
+	Refreshes   uint64
+	RefreshDuty float64
 	// CriticalCores lists the cores the corresponding paper figure plots.
 	CriticalCores []string
 }
@@ -164,6 +174,8 @@ func runOne(cfg core.Config, tc config.Case, opt Options) PolicyRun {
 		Series:        make(map[string]*stats.Series),
 		BandwidthGBps: sys.DRAM().BandwidthOverWindowGBps(before, from, to),
 		RowHitRate:    sys.DRAM().RowHitRate(),
+		Refreshes:     sys.DRAM().Stats().Totals().Refreshes,
+		RefreshDuty:   sys.DRAM().RefreshDuty(to),
 		CriticalCores: sys.CriticalCores(),
 	}
 	for _, u := range sys.Units() {
@@ -189,7 +201,8 @@ func RunPolicy(tc config.Case, policy memctrl.PolicyKind, opt Options) PolicyRun
 	cfg := config.Camcorder(tc,
 		config.WithPolicy(policy),
 		config.WithScaleDiv(opt.ScaleDiv),
-		config.WithSeed(opt.Seed))
+		config.WithSeed(opt.Seed),
+		config.WithRefresh(opt.Refresh))
 	return runOne(cfg, tc, opt)
 }
 
@@ -244,7 +257,8 @@ func Fig7(opt Options) []FreqHistogram {
 			config.WithPolicy(memctrl.QoS),
 			config.WithScaleDiv(opt.ScaleDiv),
 			config.WithSeed(opt.Seed),
-			config.WithDataRate(mtps))
+			config.WithDataRate(mtps),
+			config.WithRefresh(opt.Refresh))
 		sys := core.Build(cfg)
 		sys.RunFrames(opt.WarmupFrames + opt.MeasureFrames)
 		hist := sys.PriorityHistogramByCore("Image Proc.")
@@ -295,7 +309,8 @@ func Fig8(opt Options) []BandwidthResult {
 		cfg := config.Saturated(
 			config.WithPolicy(p),
 			config.WithScaleDiv(opt.ScaleDiv),
-			config.WithSeed(opt.Seed))
+			config.WithSeed(opt.Seed),
+			config.WithRefresh(opt.Refresh))
 		sys := core.Build(cfg)
 		sys.RunFrames(warmup)
 		from := sys.Now()
@@ -320,8 +335,12 @@ func Fig9(opt Options) []PolicyRun {
 // FormatRun renders a PolicyRun as a small text table.
 func FormatRun(r PolicyRun) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "case %s / policy %-9s  bw=%5.2f GB/s  rowhit=%.2f\n",
+	fmt.Fprintf(&b, "case %s / policy %-9s  bw=%5.2f GB/s  rowhit=%.2f",
 		r.Case, r.Policy, r.BandwidthGBps, r.RowHitRate)
+	if r.Refreshes > 0 {
+		fmt.Fprintf(&b, "  refresh=%d (%.1f%% blackout)", r.Refreshes, 100*r.RefreshDuty)
+	}
+	fmt.Fprintln(&b)
 	cores := append([]string(nil), r.CriticalCores...)
 	sort.Strings(cores)
 	for _, c := range cores {

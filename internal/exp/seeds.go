@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"sara/internal/config"
+	"sara/internal/memctrl"
+	"sara/internal/stats"
+)
+
+// RunSeeds measures (tc, policy) once per seed, fanning the independent
+// runs across the worker pool. Each run owns its own kernel and forked
+// RNG streams, so the result slice — and every statistic derived from it
+// — is identical regardless of worker count; the seed fan-out tests
+// assert it.
+func RunSeeds(tc config.Case, policy memctrl.PolicyKind, seeds []uint64, opt Options) []PolicyRun {
+	opt = opt.apply()
+	out := make([]PolicyRun, len(seeds))
+	opt.forEach(len(seeds), func(i int) {
+		o := opt
+		o.Seed = seeds[i]
+		out[i] = RunPolicy(tc, policy, o)
+	})
+	return out
+}
+
+// WorstNPISummary aggregates the per-seed worst min-NPI (the scalar the
+// figure pass/fail calls key on) into mean / std / 95% CI.
+func WorstNPISummary(runs []PolicyRun) stats.Summary {
+	xs := make([]float64, len(runs))
+	for i, r := range runs {
+		worst := 1e18
+		for _, v := range r.MinNPI {
+			if v < worst {
+				worst = v
+			}
+		}
+		xs[i] = worst
+	}
+	return stats.Summarize(xs)
+}
+
+// BandwidthSummary aggregates the per-seed measured DRAM bandwidth.
+func BandwidthSummary(runs []PolicyRun) stats.Summary {
+	xs := make([]float64, len(runs))
+	for i, r := range runs {
+		xs[i] = r.BandwidthGBps
+	}
+	return stats.Summarize(xs)
+}
+
+// FormatSeedSummary renders a seed fan-out as one line per metric.
+func FormatSeedSummary(runs []PolicyRun) string {
+	if len(runs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	npi, bw := WorstNPISummary(runs), BandwidthSummary(runs)
+	fmt.Fprintf(&b, "case %s / policy %-9s  %d seeds\n", runs[0].Case, runs[0].Policy, npi.N)
+	fmt.Fprintf(&b, "  worst min NPI  %6.3f +/- %.3f (std %.3f)\n", npi.Mean, npi.CI95, npi.Std)
+	fmt.Fprintf(&b, "  bandwidth GB/s %6.2f +/- %.2f (std %.2f)\n", bw.Mean, bw.CI95, bw.Std)
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sara/internal/config"
+	"sara/internal/memctrl"
+)
+
+// TestSeedFanOutReproducible is the acceptance property of the seed
+// fan-out: running the same (case, policy) across N seeds through the
+// parallel harness yields per-seed results — and the confidence intervals
+// derived from them — identical to serial execution, and the seeds
+// genuinely vary the workload.
+func TestSeedFanOutReproducible(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	serial := FastOptions()
+	serial.Workers = 1
+	parallel := FastOptions()
+	parallel.Workers = 0 // GOMAXPROCS
+
+	s := RunSeeds(config.CaseA, memctrl.QoS, seeds, serial)
+	p := RunSeeds(config.CaseA, memctrl.QoS, seeds, parallel)
+	if !reflect.DeepEqual(s, p) {
+		t.Fatal("seed fan-out results differ between serial and parallel execution")
+	}
+
+	sNPI, pNPI := WorstNPISummary(s), WorstNPISummary(p)
+	if sNPI != pNPI {
+		t.Fatalf("NPI summaries differ: serial %+v, parallel %+v", sNPI, pNPI)
+	}
+	sBW, pBW := BandwidthSummary(s), BandwidthSummary(p)
+	if sBW != pBW {
+		t.Fatalf("bandwidth summaries differ: serial %+v, parallel %+v", sBW, pBW)
+	}
+
+	if sNPI.N != len(seeds) {
+		t.Fatalf("summary over %d runs, want %d", sNPI.N, len(seeds))
+	}
+	for _, v := range []float64{sNPI.Mean, sNPI.Std, sNPI.CI95, sBW.Mean, sBW.Std, sBW.CI95} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("non-finite or negative summary term: NPI %+v, bandwidth %+v", sNPI, sBW)
+		}
+	}
+
+	// Distinct seeds must produce distinct workloads — otherwise the CI is
+	// a tautology. Bandwidth is the most seed-sensitive scalar.
+	varied := false
+	for i := 1; i < len(s); i++ {
+		if s[i].BandwidthGBps != s[0].BandwidthGBps {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("all seeds produced identical bandwidth; seeds do not vary the workload")
+	}
+
+	if out := FormatSeedSummary(s); out == "" {
+		t.Fatal("empty seed summary")
+	}
+}
+
+// TestSeedFanOutRerunIdentity asserts the fan-out is deterministic run to
+// run, not just worker-count independent: the CI a CI job records today
+// must be the CI it records tomorrow.
+func TestSeedFanOutRerunIdentity(t *testing.T) {
+	seeds := []uint64{7, 8}
+	opt := FastOptions()
+	a := WorstNPISummary(RunSeeds(config.CaseB, memctrl.FCFS, seeds, opt))
+	b := WorstNPISummary(RunSeeds(config.CaseB, memctrl.FCFS, seeds, opt))
+	if a != b {
+		t.Fatalf("repeated fan-out summaries differ: %+v vs %+v", a, b)
+	}
+	if a.Std != 0 && a.CI95 == 0 {
+		t.Fatalf("nonzero spread with zero CI: %+v", a)
+	}
+}

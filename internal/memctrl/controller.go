@@ -53,6 +53,12 @@ type Stats struct {
 	PerClass [txn.NumClasses]uint64
 	// Enqueued counts admissions.
 	Enqueued uint64
+	// Refreshes counts REF commands issued; ForcedRefreshes those issued
+	// with the postponement window exhausted; RefreshPrecharges the PREs
+	// issued to drain open rows ahead of a forced REF.
+	Refreshes         uint64
+	ForcedRefreshes   uint64
+	RefreshPrecharges uint64
 }
 
 // Controller is one channel's transaction scheduler. It is driven by the
@@ -102,6 +108,25 @@ type Controller struct {
 	// nBanks caches the geometry for bankKey (fetching the full device
 	// config per lookup is measurable on the scan path).
 	nBanks int
+
+	// Refresh machinery (one branch of cost when the device models no
+	// refresh). refCfg caches the device's refresh parameters; rankPending
+	// counts queued transactions per rank so opportunistic refresh can
+	// tell an idle rank from a momentarily blocked one, and rankIdleFrom
+	// records when each rank's pending count last dropped to zero — a
+	// pull-in REF waits until the rank has been idle for a full tRFC, so
+	// a window-limited source whose queue merely blinks empty between
+	// requests does not eat a blackout at the worst moment. refNextAction
+	// is the next cycle the refresh state machine could issue a command or
+	// change the forced-rank mask — the refresh analogue of nextTry, and
+	// the wake NextActivity reports so skipped stretches cannot slide past
+	// a due refresh.
+	refreshOn     bool
+	refCfg        dram.RefreshConfig
+	nRanks        int
+	rankPending   []int
+	rankIdleFrom  []sim.Cycle
+	refNextAction sim.Cycle
 }
 
 // neverTry marks a dormant controller whose queue contents must change
@@ -121,11 +146,18 @@ func New(cfg Config, d *dram.DRAM) *Controller {
 	}
 	geo := d.Config().Geometry
 	c := &Controller{
-		cfg:     cfg,
-		dram:    d,
-		mapper:  d.Mapper(),
-		bankHit: make([]uint16, geo.Ranks*geo.Banks),
-		nBanks:  geo.Banks,
+		cfg:       cfg,
+		dram:      d,
+		mapper:    d.Mapper(),
+		bankHit:   make([]uint16, geo.Ranks*geo.Banks),
+		nBanks:    geo.Banks,
+		nRanks:    geo.Ranks,
+		refreshOn: d.RefreshEnabled(),
+		refCfg:    d.Config().Refresh,
+	}
+	if c.refreshOn {
+		c.rankPending = make([]int, geo.Ranks)
+		c.rankIdleFrom = make([]sim.Cycle, geo.Ranks)
 	}
 	for i := range c.queues {
 		c.queues[i] = classQueue{class: txn.Class(i), cap: cfg.QueueCaps[i]}
@@ -165,6 +197,9 @@ func (c *Controller) Enqueue(t *txn.Transaction, now sim.Cycle) {
 	t.RowPath = neededNothing
 	c.queues[t.Class].push(entry{t: t, loc: loc})
 	c.stats.Enqueued++
+	if c.refreshOn {
+		c.rankPending[loc.Rank]++
+	}
 	// A new transaction invalidates the dormancy window: it may be
 	// issuable immediately, and it changes the row-hit picture.
 	c.nextTry = 0
@@ -187,24 +222,47 @@ func (c *Controller) rrDist(class txn.Class) int {
 
 // NextActivity implements sim.Idler: an empty controller never wakes the
 // kernel, and a controller whose queued transactions are all blocked on
-// DRAM timing wakes exactly when the first timing gate opens.
+// DRAM timing wakes exactly when the first timing gate opens. With
+// refresh modeled the controller additionally wakes for the refresh state
+// machine — REF issue, forced-drain precharges and tREFI boundary
+// crossings — so a skipped stretch can never slide past a due refresh or
+// mis-time a tRFC blackout.
 func (c *Controller) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
-	if c.Pending() == 0 {
-		return 0, false
+	var queueAt sim.Cycle
+	queueOK := false
+	if c.Pending() > 0 && c.nextTry != neverTry {
+		// nextTry == neverTry: every queued transaction is blocked on a
+		// queue-shape change (e.g. the open-page guard); only an Enqueue
+		// can unblock it.
+		queueAt = c.nextTry
+		if queueAt < now {
+			queueAt = now
+		}
+		queueOK = true
 	}
-	if c.nextTry == neverTry {
-		// Every queued transaction is blocked on a queue-shape change
-		// (e.g. the open-page guard); only an Enqueue can unblock it.
-		return 0, false
+	if !c.refreshOn {
+		if !queueOK {
+			return 0, false
+		}
+		return queueAt, true
 	}
-	if c.nextTry > now {
-		return c.nextTry, true
+	refAt := c.refNextAction
+	if refAt < now {
+		refAt = now
 	}
-	return now, true
+	if !queueOK || refAt < queueAt {
+		return refAt, true
+	}
+	return queueAt, true
 }
 
 // Tick issues at most one DRAM command for this channel.
 func (c *Controller) Tick(now sim.Cycle) {
+	if c.refreshOn && now >= c.refNextAction {
+		if c.tickRefresh(now) {
+			return // the refresh machine consumed this cycle's command slot
+		}
+	}
 	if now < c.nextTry {
 		return
 	}
@@ -224,6 +282,159 @@ func (c *Controller) Tick(now sim.Cycle) {
 		}
 	}
 	c.issue(best, now)
+	if c.refreshOn {
+		// The issued command changed bank or queue state the refresh
+		// machine keys on (open rows, pending counts); re-evaluate next
+		// cycle rather than trusting a stale wake time.
+		c.refNextAction = now + 1
+	}
+}
+
+// tickRefresh runs the per-rank refresh state machine and issues at most
+// one command: a REF, or a PRE draining an open row of a rank whose
+// postponement window is exhausted. Forced work goes first; then ranks
+// with no queued transactions refresh opportunistically, pulling in up to
+// the window's depth ahead of schedule so bursts land on fully credited
+// ranks. It returns true when it consumed this cycle's command slot; when
+// it issues nothing it refreshes the forced-rank mask the queue scan
+// honors and recomputes refNextAction, the earliest cycle it could act.
+func (c *Controller) tickRefresh(now sim.Cycle) bool {
+	ch := c.cfg.Channel
+	for r := 0; r < c.nRanks; r++ {
+		if !c.dram.RefreshForced(ch, r, now) {
+			continue
+		}
+		if c.dram.CanRefresh(ch, r, now) {
+			c.issueRefresh(r, now, true)
+			return true
+		}
+		if b, ok := c.drainBank(r, now); ok {
+			c.issueRefreshPre(r, b, now)
+			return true
+		}
+	}
+	for r := 0; r < c.nRanks; r++ {
+		if c.rankPending[r] != 0 || now < c.rankIdleFrom[r]+c.refCfg.TRFC {
+			continue // not idle, or not yet idle for a blackout's length
+		}
+		if c.dram.CanRefresh(ch, r, now) {
+			c.issueRefresh(r, now, false)
+			return true
+		}
+	}
+	for r := 0; r < c.nRanks; r++ {
+		c.scan.RefBlocked[r] = c.dram.RefreshForced(ch, r, now)
+	}
+	c.refNextAction = c.nextRefreshAction(now)
+	return false
+}
+
+// drainBank picks the lowest-indexed open bank of rank r that is past its
+// precharge gate, for the forced-refresh drain.
+func (c *Controller) drainBank(r int, now sim.Cycle) (int, bool) {
+	for b := 0; b < c.nBanks; b++ {
+		bs := &c.scan.Banks[r*c.nBanks+b]
+		if bs.Open && now >= bs.NextPre {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// earliestPre reports the earliest precharge gate among rank r's open
+// banks (neverTry if none is open).
+func (c *Controller) earliestPre(r int) sim.Cycle {
+	at := neverTry
+	for b := 0; b < c.nBanks; b++ {
+		bs := &c.scan.Banks[r*c.nBanks+b]
+		if bs.Open && bs.NextPre < at {
+			at = bs.NextPre
+		}
+	}
+	return at
+}
+
+// issueRefresh performs a REF to rank r and wakes both schedulers next
+// cycle: the REF moved every activate gate of the rank and may have
+// cleared the forced mask over queued work.
+func (c *Controller) issueRefresh(r int, now sim.Cycle, forced bool) {
+	if debugTrace != nil {
+		debugTrace(c.cfg.Channel, now, 0, 'R')
+	}
+	c.dram.Refresh(c.cfg.Channel, r, now)
+	c.dram.RefreshScanRank(c.cfg.Channel, r, &c.scan)
+	c.scan.RefBlocked[r] = false
+	c.stats.Refreshes++
+	if forced {
+		c.stats.ForcedRefreshes++
+	}
+	c.refNextAction = now + 1
+	if c.nextTry > now+1 {
+		c.nextTry = now + 1
+	}
+}
+
+// issueRefreshPre precharges bank b of rank r on behalf of a forced
+// refresh, overriding any transaction's bank reservation (the reserving
+// transaction re-activates once the blackout passes).
+func (c *Controller) issueRefreshPre(r, b int, now sim.Cycle) {
+	if debugTrace != nil {
+		debugTrace(c.cfg.Channel, now, 0, 'P')
+	}
+	loc := dram.Location{Channel: c.cfg.Channel, Rank: r, Bank: b}
+	c.dram.Precharge(loc, now)
+	c.dram.RefreshScanBank(c.cfg.Channel, loc, &c.scan)
+	c.stats.RefreshPrecharges++
+	c.refNextAction = now + 1
+	if c.nextTry > now+1 {
+		c.nextTry = now + 1
+	}
+}
+
+// nextRefreshAction reports the earliest cycle the refresh machine could
+// issue a command or change the forced-rank mask. Reporting early is
+// always safe — the tick re-evaluates and goes back to sleep — but
+// reporting late would let idle skipping slide past a due refresh, so
+// every branch is a provable lower bound: forced drains wake on the exact
+// DRAM gate, idle ranks on their REF-ready cycle, and everything else on
+// the next tREFI boundary (the only cycle owed counts change).
+func (c *Controller) nextRefreshAction(now sim.Cycle) sim.Cycle {
+	ch := c.cfg.Channel
+	best := neverTry
+	for r := 0; r < c.nRanks; r++ {
+		var at sim.Cycle
+		owed := c.dram.RefreshOwed(ch, r, now)
+		switch {
+		case owed >= c.refCfg.Window:
+			readyAt, closed := c.dram.RefreshReadyAt(ch, r)
+			if closed {
+				at = readyAt
+			} else {
+				at = c.earliestPre(r)
+			}
+		case c.rankPending[r] == 0 && owed > -c.refCfg.Window:
+			readyAt, closed := c.dram.RefreshReadyAt(ch, r)
+			if closed {
+				at = readyAt
+				if idleAt := c.rankIdleFrom[r] + c.refCfg.TRFC; idleAt > at {
+					at = idleAt
+				}
+			} else {
+				// An idle rank holding an open row refreshes only once
+				// forced; re-check at the next boundary.
+				at = c.dram.NextRefreshBoundary(ch, r, now)
+			}
+		default:
+			at = c.dram.NextRefreshBoundary(ch, r, now)
+		}
+		if at < now+1 {
+			at = now + 1 // this tick already declined to act
+		}
+		if at < best {
+			best = at
+		}
+	}
+	return best
 }
 
 // collectCandidates fills c.scratch with every queued transaction that can
@@ -324,6 +535,11 @@ func (c *Controller) collectCandidates(now sim.Cycle) {
 // row, and the earliest cycle the command clears the timing gates (atOK
 // false when blocked on a foreign reservation or a disallowed precharge).
 func (c *Controller) probeScan(e *entry, allowPre bool, now sim.Cycle) (ok, rowHit bool, at sim.Cycle, atOK bool) {
+	if c.scan.RefBlocked[e.loc.Rank] {
+		// The rank is being drained for a forced refresh: nothing issues
+		// until the REF lands, and the refresh machine owns that wake.
+		return false, false, 0, false
+	}
 	b := &c.scan.Banks[c.bankKey(e.loc)]
 	if b.ReservedBy != 0 && b.ReservedBy != e.t.ID {
 		return false, false, 0, false
@@ -455,6 +671,12 @@ func (c *Controller) issueCAS(e entry, now sim.Cycle) {
 	}
 	c.dram.Release(e.loc, e.t.ID)
 	c.queues[e.t.Class].remove(e.t.ID)
+	if c.refreshOn {
+		c.rankPending[e.loc.Rank]--
+		if c.rankPending[e.loc.Rank] == 0 {
+			c.rankIdleFrom[e.loc.Rank] = now
+		}
+	}
 
 	switch e.t.RowPath {
 	case neededPre:

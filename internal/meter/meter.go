@@ -313,3 +313,24 @@ type Static float64
 
 // NPI reports the fixed value.
 func (s Static) NPI(sim.Cycle) float64 { return float64(s) }
+
+// StallAttribution splits a measured NPI shortfall (1 - npi, zero when
+// the target is met) between DRAM refresh and everything else. Refresh
+// steals at most its blackout duty — the fraction of rank-cycles spent
+// under tRFC — so that bounds the share it can be blamed for; the
+// remainder is contention (arbitration, row conflicts, bus turnaround).
+// Reports use it to say "the dip is refresh cadence, not the policy".
+func StallAttribution(npi, refreshDuty float64) (refresh, contention float64) {
+	shortfall := 1 - npi
+	if shortfall <= 0 {
+		return 0, 0
+	}
+	if refreshDuty < 0 {
+		refreshDuty = 0
+	}
+	refresh = refreshDuty
+	if refresh > shortfall {
+		refresh = shortfall
+	}
+	return refresh, shortfall - refresh
+}

@@ -166,3 +166,25 @@ func TestClampProperty(t *testing.T) {
 		t.Fatal("NaN did not clamp to MinNPI")
 	}
 }
+
+func TestStallAttribution(t *testing.T) {
+	// Target met: nothing to attribute.
+	if r, c := StallAttribution(1.2, 0.07); r != 0 || c != 0 {
+		t.Fatalf("healthy core attributed (%v, %v), want zeros", r, c)
+	}
+	// Shortfall larger than the refresh duty: refresh is capped at its
+	// duty, the rest is contention.
+	r, c := StallAttribution(0.8, 0.07)
+	if math.Abs(r-0.07) > 1e-12 || math.Abs(c-0.13) > 1e-12 {
+		t.Fatalf("attribution (%v, %v), want (0.07, 0.13)", r, c)
+	}
+	// Shortfall smaller than the duty: refresh absorbs all of it.
+	r, c = StallAttribution(0.98, 0.07)
+	if math.Abs(r-0.02) > 1e-12 || c != 0 {
+		t.Fatalf("attribution (%v, %v), want (0.02, 0)", r, c)
+	}
+	// A negative duty (defensive) attributes everything to contention.
+	if r, c := StallAttribution(0.9, -1); r != 0 || math.Abs(c-0.1) > 1e-12 {
+		t.Fatalf("attribution (%v, %v), want (0, 0.1)", r, c)
+	}
+}

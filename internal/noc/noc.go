@@ -205,6 +205,14 @@ var debugStall func(name string, now sim.Cycle, n uint64, backfill bool)
 // SetDebugStall installs the stall trace hook (tests only).
 func SetDebugStall(fn func(name string, now sim.Cycle, n uint64, backfill bool)) { debugStall = fn }
 
+// debugGrant, when set, observes every switch-allocation grant (tests
+// only): which input port won which output for which transaction.
+var debugGrant func(name string, now sim.Cycle, port, out int, id uint64)
+
+// SetDebugGrant installs the grant trace hook (equivalence tests only;
+// not for concurrent use).
+func SetDebugGrant(fn func(name string, now sim.Cycle, port, out int, id uint64)) { debugGrant = fn }
+
 // neverStall marks a router with no packets: gaps accrue no stalls.
 const neverStall = ^sim.Cycle(0)
 
@@ -321,6 +329,9 @@ func (r *Router) Tick(now sim.Cycle) {
 		}
 		h := r.ready[sel]
 		pk := r.ports[h.idx].pop()
+		if debugGrant != nil {
+			debugGrant(r.name, now, h.idx, out, pk.t.ID)
+		}
 		r.outputs[out].Accept(pk.t, now)
 		r.forwarded++
 		granted = true

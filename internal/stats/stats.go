@@ -196,6 +196,40 @@ func (s *Series) FractionBelow(threshold float64) float64 {
 	return float64(n) / float64(len(s.Values))
 }
 
+// Summary aggregates one scalar metric across independent runs (e.g. the
+// worst min-NPI across a seed fan-out): sample mean, Bessel-corrected
+// standard deviation and the half-width of a normal-approximation 95%
+// confidence interval.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	CI95      float64
+}
+
+// Summarize computes the Summary of xs. With fewer than two samples the
+// spread terms are zero.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = 1.96 * s.Std / math.Sqrt(float64(s.N))
+	return s
+}
+
 // LevelHistogram counts time spent at small discrete levels (priority
 // levels 0..n-1 in the Fig. 7 experiment).
 type LevelHistogram struct {

@@ -152,3 +152,29 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatal("mismatched series accepted")
 	}
 }
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.Std != 0 || s.CI95 != 0 {
+		t.Fatalf("empty summary %+v, want zeros", s)
+	}
+	if s := Summarize([]float64{3}); s.N != 1 || s.Mean != 3 || s.Std != 0 || s.CI95 != 0 {
+		t.Fatalf("single-sample summary %+v, want mean 3 and zero spread", s)
+	}
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary %+v, want N=8 mean=5", s)
+	}
+	// Bessel-corrected std of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std, want)
+	}
+	wantCI := 1.96 * want / math.Sqrt(8)
+	if math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Fatalf("CI95 %v, want %v", s.CI95, wantCI)
+	}
+	// Constant samples: zero spread.
+	if s := Summarize([]float64{1, 1, 1}); s.Std != 0 || s.CI95 != 0 {
+		t.Fatalf("constant-sample summary %+v, want zero spread", s)
+	}
+}

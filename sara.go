@@ -117,6 +117,9 @@ var (
 	WithScaleDiv = config.WithScaleDiv
 	// WithDataRate overrides the DRAM data rate in MT/s.
 	WithDataRate = config.WithDataRate
+	// WithRefresh enables LPDDR4 all-bank refresh (tREFI/tRFC) with the
+	// JEDEC defaults for the configured data rate.
+	WithRefresh = config.WithRefresh
 	// WithDelta overrides Policy 2's row-buffer threshold.
 	WithDelta = config.WithDelta
 	// WithPriorityBits overrides the priority quantization k.

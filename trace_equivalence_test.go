@@ -28,55 +28,117 @@ type tracedInj struct {
 	addr uint64
 }
 
-func runTraced(policy sara.Policy, skip bool, cycles sim.Cycle) ([]tracedCmd, []tracedInj) {
-	var cmds []tracedCmd
-	var injs []tracedInj
+type tracedGrant struct {
+	router string
+	now    sim.Cycle
+	port   int
+	out    int
+	id     uint64
+}
+
+type traces struct {
+	cmds   []tracedCmd
+	injs   []tracedInj
+	grants []tracedGrant
+}
+
+func runTraced(policy sara.Policy, skip, refresh bool, cycles sim.Cycle) traces {
+	var tr traces
 	memctrl.SetDebugTrace(func(ch int, now sim.Cycle, id uint64, kind byte) {
-		cmds = append(cmds, tracedCmd{ch, now, id, kind})
+		tr.cmds = append(tr.cmds, tracedCmd{ch, now, id, kind})
 	})
 	dma.SetDebugInject(func(now sim.Cycle, src int, id uint64, addr uint64) {
-		injs = append(injs, tracedInj{now, src, id, addr})
+		tr.injs = append(tr.injs, tracedInj{now, src, id, addr})
+	})
+	noc.SetDebugGrant(func(name string, now sim.Cycle, port, out int, id uint64) {
+		tr.grants = append(tr.grants, tracedGrant{name, now, port, out, id})
 	})
 	defer memctrl.SetDebugTrace(nil)
 	defer dma.SetDebugInject(nil)
-	sys := sara.Build(sara.Camcorder(sara.CaseA, sara.WithPolicy(policy)))
+	defer noc.SetDebugGrant(nil)
+	sys := sara.Build(sara.Camcorder(sara.CaseA,
+		sara.WithPolicy(policy), sara.WithRefresh(refresh)))
 	sys.Kernel().SetIdleSkip(skip)
 	sys.Run(cycles)
-	return cmds, injs
+	return tr
+}
+
+// compareTraces asserts the full command, injection and NoC grant streams
+// are bit-identical between the cycle-stepped reference and the
+// idle-skipping run.
+func compareTraces(t *testing.T, ref, fast traces) {
+	t.Helper()
+	if len(ref.cmds) != len(fast.cmds) {
+		t.Fatalf("command counts differ: %d vs %d", len(ref.cmds), len(fast.cmds))
+	}
+	for i := range ref.cmds {
+		if ref.cmds[i] != fast.cmds[i] {
+			t.Fatalf("command %d differs: reference %+v, idle-skipping %+v",
+				i, ref.cmds[i], fast.cmds[i])
+		}
+	}
+	if len(ref.injs) != len(fast.injs) {
+		t.Fatalf("injection counts differ: %d vs %d", len(ref.injs), len(fast.injs))
+	}
+	for i := range ref.injs {
+		if ref.injs[i] != fast.injs[i] {
+			t.Fatalf("injection %d differs: reference %+v, idle-skipping %+v",
+				i, ref.injs[i], fast.injs[i])
+		}
+	}
+	if len(ref.grants) != len(fast.grants) {
+		t.Fatalf("NoC grant counts differ: %d vs %d", len(ref.grants), len(fast.grants))
+	}
+	for i := range ref.grants {
+		if ref.grants[i] != fast.grants[i] {
+			t.Fatalf("NoC grant %d differs: reference %+v, idle-skipping %+v",
+				i, ref.grants[i], fast.grants[i])
+		}
+	}
+	if len(ref.cmds) == 0 || len(ref.injs) == 0 || len(ref.grants) == 0 {
+		t.Fatal("empty traces; the system did not run")
+	}
 }
 
 // TestIdleSkipTraceEquivalence asserts that the idle-skipping kernel
-// issues the exact same DRAM command stream and DMA injection stream —
-// same transactions, same cycles, same order — as the cycle-stepped
-// reference.
+// issues the exact same DRAM command stream, DMA injection stream and NoC
+// arbitration grant stream — same transactions, same cycles, same order —
+// as the cycle-stepped reference.
 func TestIdleSkipTraceEquivalence(t *testing.T) {
 	const horizon = 60000
 	for _, policy := range []sara.Policy{sara.QoS, sara.FRFCFS} {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
-			refCmds, refInjs := runTraced(policy, false, horizon)
-			fastCmds, fastInjs := runTraced(policy, true, horizon)
+			compareTraces(t,
+				runTraced(policy, false, false, horizon),
+				runTraced(policy, true, false, horizon))
+		})
+	}
+}
 
-			if len(refCmds) != len(fastCmds) {
-				t.Fatalf("command counts differ: %d vs %d", len(refCmds), len(fastCmds))
-			}
-			for i := range refCmds {
-				if refCmds[i] != fastCmds[i] {
-					t.Fatalf("command %d differs: reference %+v, idle-skipping %+v",
-						i, refCmds[i], fastCmds[i])
+// TestIdleSkipTraceEquivalenceRefresh repeats the trace comparison with
+// LPDDR4 refresh enabled: REF commands and forced-drain precharges must
+// land on identical cycles in both kernel modes, and the stream must
+// actually contain REFs (kind 'R', transaction id 0).
+func TestIdleSkipTraceEquivalenceRefresh(t *testing.T) {
+	const horizon = 60000
+	for _, policy := range []sara.Policy{sara.QoS, sara.FRFCFS} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			ref := runTraced(policy, false, true, horizon)
+			fast := runTraced(policy, true, true, horizon)
+			compareTraces(t, ref, fast)
+			refs := 0
+			for _, c := range ref.cmds {
+				if c.kind == 'R' {
+					if c.id != 0 {
+						t.Fatalf("REF carried transaction id %d", c.id)
+					}
+					refs++
 				}
 			}
-			if len(refInjs) != len(fastInjs) {
-				t.Fatalf("injection counts differ: %d vs %d", len(refInjs), len(fastInjs))
-			}
-			for i := range refInjs {
-				if refInjs[i] != fastInjs[i] {
-					t.Fatalf("injection %d differs: reference %+v, idle-skipping %+v",
-						i, refInjs[i], fastInjs[i])
-				}
-			}
-			if len(refCmds) == 0 || len(refInjs) == 0 {
-				t.Fatal("empty traces; the system did not run")
+			if refs == 0 {
+				t.Fatal("refresh-enabled trace contains no REF commands")
 			}
 		})
 	}
