@@ -41,6 +41,22 @@ func TestSteadyStateAllocationsRefresh(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocationsLoaded pins the saturated (non-idle) phase:
+// the event-driven NoC's dormancy bookkeeping — window recomputation,
+// credit wakes, stall backfill — must run entirely on preallocated state
+// even when every channel is flooded and grants flow back to back.
+func TestSteadyStateAllocationsLoaded(t *testing.T) {
+	sys := sara.Build(sara.Saturated())
+	sys.RunFrames(1)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		sys.Run(1000)
+	})
+	if allocs > 2 {
+		t.Fatalf("loaded phase allocates %.1f times per 1000 cycles, want <= 2", allocs)
+	}
+}
+
 // TestSteadyStateAllocationsReference pins the cycle-stepped reference
 // path too: allocation freedom must not depend on idle skipping.
 func TestSteadyStateAllocationsReference(t *testing.T) {

@@ -220,6 +220,37 @@ func BenchmarkSimulatorThroughputRefresh(b *testing.B) {
 	b.ReportMetric(100*float64(sys.Kernel().SkippedCycles())/float64(sys.Now()), "%skipped")
 }
 
+// BenchmarkLoadedPhaseThroughput measures ns/cycle through the saturated
+// (non-idle) phase of the Fig. 8 workload: the CPU cluster floods every
+// channel, so there are no system-wide idle gaps for the kernel to skip
+// and the number isolates how cheaply the per-cycle machinery runs under
+// sustained load — in particular whether the NoC routers stay dormant
+// between grants instead of re-scanning ready heads every executed cycle.
+func BenchmarkLoadedPhaseThroughput(b *testing.B) {
+	sys := sara.Build(sara.Saturated())
+	sys.RunFrames(1) // reach the saturated steady state
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(1000)
+	}
+	b.ReportMetric(1000, "cycles/op")
+	b.ReportMetric(100*float64(sys.Kernel().SkippedCycles())/float64(sys.Now()), "%skipped")
+}
+
+// BenchmarkLoadedPhaseThroughputReference is the loaded-phase measurement
+// with idle skipping disabled — the cycle-stepped floor the event-driven
+// NoC is compared against.
+func BenchmarkLoadedPhaseThroughputReference(b *testing.B) {
+	sys := sara.Build(sara.Saturated())
+	sys.Kernel().SetIdleSkip(false)
+	sys.RunFrames(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(1000)
+	}
+	b.ReportMetric(1000, "cycles/op")
+}
+
 // BenchmarkSimulatorThroughputReference measures the same system with
 // idle skipping disabled — the cycle-stepped reference path the
 // equivalence tests compare against. The gap between this and

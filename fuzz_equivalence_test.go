@@ -1,0 +1,238 @@
+package sara_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sara"
+	"sara/internal/dma"
+	"sara/internal/dram"
+	"sara/internal/memctrl"
+	"sara/internal/noc"
+	"sara/internal/sim"
+)
+
+// The randomized differential harness: each case derives a whole system
+// configuration from a single uint64 seed — test case, policy, refresh,
+// workload seed, a random subset of the core roster, per-DMA request and
+// window sizes, NoC port depths / hop latencies / aging, controller queue
+// split and delta — and requires the idle-skipping event-driven run to be
+// bit-identical to the cycle-stepped force-scan reference: aggregate
+// statistics, the full NoC grant trace and the full credit-return trace.
+// A failure names the config seed; fuzzConfig(seed) rebuilds the exact
+// configuration for offline reproduction.
+
+// fuzzPolicies is the policy pool the harness draws from.
+var fuzzPolicies = []sara.Policy{sara.FCFS, sara.RR, sara.FRFCFS, sara.FrameRate, sara.QoS, sara.QoSRB}
+
+// fuzzConfig deterministically derives a full system configuration from
+// seed. Keep this function stable: failure messages identify configs by
+// seed only.
+func fuzzConfig(seed uint64) (sara.Config, string) {
+	rng := sim.NewRand(seed)
+	tc := sara.CaseA
+	if rng.Bool(0.3) {
+		tc = sara.CaseB
+	}
+	policy := fuzzPolicies[rng.Intn(len(fuzzPolicies))]
+	refresh := rng.Bool(0.35)
+	cfg := sara.Camcorder(tc,
+		sara.WithPolicy(policy),
+		sara.WithSeed(rng.Uint64()),
+		sara.WithRefresh(refresh),
+		sara.WithAgingT([]sara.Cycle{0, 500, 10000}[rng.Intn(3)]),
+		sara.WithDelta(sara.Priority(rng.Intn(8))),
+	)
+
+	// Core mix: drop DMAs at random (topology varies with the mix — the
+	// media and system aggregation routers disappear when their groups
+	// empty out), keeping at least two so the system still routes.
+	roster := cfg.DMAs
+	kept := make([]sara.DMASpec, 0, len(roster))
+	for _, spec := range roster {
+		if rng.Bool(0.3) {
+			continue
+		}
+		kept = append(kept, spec)
+	}
+	if len(kept) < 2 {
+		kept = append(kept[:0], roster[:2]...)
+	}
+	cfg.DMAs = kept
+
+	// Per-DMA shape: request (burst) sizes and outstanding windows.
+	for i := range cfg.DMAs {
+		s := &cfg.DMAs[i]
+		s.Source.ReqSize = []uint32{0, 64, 128, 256}[rng.Intn(4)]
+		if s.Source.Kind == sara.SrcRate {
+			s.Source.BurstReqs = 1 + rng.Intn(16)
+		}
+		if rng.Bool(0.4) {
+			s.Window = 4 + rng.Intn(60)
+		}
+	}
+
+	// NoC knobs: shallow ports sharpen credit backpressure, hop 0 makes
+	// injections arbitrable the same cycle, aging reshuffles selection.
+	cfg.NoC.PortDepth = []int{2, 4, 8, 16}[rng.Intn(4)]
+	cfg.NoC.HopLatency = sim.Cycle(rng.Intn(4))
+	cfg.NoC.AgingT = []sim.Cycle{0, 300, 10000}[rng.Intn(3)]
+
+	// Controller queue split: the credit-return boundary under test.
+	switch rng.Intn(3) {
+	case 1:
+		cfg.QueueCaps = memctrl.QueueCaps{4, 4, 3, 6, 4}
+	case 2:
+		cfg.QueueCaps = memctrl.QueueCaps{16, 16, 12, 24, 16}
+	}
+
+	desc := fmt.Sprintf("case%v/%v/refresh=%v/dmas=%d/depth=%d/hop=%d",
+		tc, policy, refresh, len(cfg.DMAs), cfg.NoC.PortDepth, cfg.NoC.HopLatency)
+	return cfg, desc
+}
+
+// diffResult is everything one run exposes that the differential compares.
+type diffResult struct {
+	grants  []tracedGrant
+	credits []tracedCredit
+	ctrls   []memctrl.Stats
+	dram    []dram.ChannelStats
+	routers map[string][2]uint64
+	engines []dma.Stats
+	npi     map[string]float64
+	skipped uint64
+}
+
+// captureRun executes cfg for the given horizon in one of the two
+// differential modes: the cycle-stepped force-scan reference (skip=false)
+// or the event-driven idle-skipping run (skip=true).
+func captureRun(cfg sara.Config, skip bool, horizon sara.Cycle) diffResult {
+	var res diffResult
+	noc.SetForceScan(!skip)
+	noc.SetDebugGrant(func(name string, now sim.Cycle, port, out int, id uint64) {
+		res.grants = append(res.grants, tracedGrant{name, now, port, out, id})
+	})
+	noc.SetDebugCredit(func(name string, now sim.Cycle, port int, wasFull bool) {
+		res.credits = append(res.credits, tracedCredit{name, now, port, wasFull})
+	})
+	defer noc.SetForceScan(false)
+	defer noc.SetDebugGrant(nil)
+	defer noc.SetDebugCredit(nil)
+
+	sys := sara.Build(cfg)
+	sys.Kernel().SetIdleSkip(skip)
+	sys.Run(horizon)
+
+	for _, c := range sys.Controllers() {
+		res.ctrls = append(res.ctrls, c.Stats())
+	}
+	res.dram = append(res.dram, sys.DRAM().Stats().Channels...)
+	res.routers = map[string][2]uint64{}
+	for _, r := range sys.Routers() {
+		res.routers[r.Name()] = [2]uint64{r.Forwarded(), r.Stalls()}
+	}
+	for _, u := range sys.Units() {
+		res.engines = append(res.engines, u.Engine.Stats())
+	}
+	res.npi = sys.MinNPIByCore(0)
+	res.skipped = sys.Kernel().SkippedCycles()
+	return res
+}
+
+// compareDiff asserts two runs of the same config are bit-identical.
+func compareDiff(t *testing.T, seed uint64, ref, fast diffResult) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("config seed %#x: %s (rebuild with fuzzConfig(seed))",
+			seed, fmt.Sprintf(format, args...))
+	}
+	if len(ref.grants) != len(fast.grants) {
+		fail("grant counts differ: step %d, skip %d", len(ref.grants), len(fast.grants))
+	}
+	for i := range ref.grants {
+		if ref.grants[i] != fast.grants[i] {
+			fail("grant %d differs: step %+v, skip %+v", i, ref.grants[i], fast.grants[i])
+		}
+	}
+	if len(ref.credits) != len(fast.credits) {
+		fail("credit counts differ: step %d, skip %d", len(ref.credits), len(fast.credits))
+	}
+	for i := range ref.credits {
+		if ref.credits[i] != fast.credits[i] {
+			fail("credit %d differs: step %+v, skip %+v", i, ref.credits[i], fast.credits[i])
+		}
+	}
+	for i := range ref.ctrls {
+		if ref.ctrls[i] != fast.ctrls[i] {
+			fail("controller %d stats differ:\n  step: %+v\n  skip: %+v", i, ref.ctrls[i], fast.ctrls[i])
+		}
+	}
+	for i := range ref.dram {
+		if ref.dram[i] != fast.dram[i] {
+			fail("DRAM channel %d stats differ:\n  step: %+v\n  skip: %+v", i, ref.dram[i], fast.dram[i])
+		}
+	}
+	if len(ref.routers) != len(fast.routers) {
+		fail("router sets differ: %v vs %v", ref.routers, fast.routers)
+	}
+	for name, rv := range ref.routers {
+		if fv, ok := fast.routers[name]; !ok || fv != rv {
+			fail("router %s fwd/stalls differ: step %v, skip %v", name, rv, fast.routers[name])
+		}
+	}
+	for i := range ref.engines {
+		if ref.engines[i] != fast.engines[i] {
+			fail("engine %d stats differ:\n  step: %+v\n  skip: %+v", i, ref.engines[i], fast.engines[i])
+		}
+	}
+	if len(ref.npi) != len(fast.npi) {
+		fail("min-NPI core sets differ: %v vs %v", ref.npi, fast.npi)
+	}
+	for core, v := range ref.npi {
+		if fv, ok := fast.npi[core]; !ok || fv != v {
+			fail("core %q min NPI differs: step %v, skip %v", core, v, fast.npi[core])
+		}
+	}
+}
+
+// TestRandomizedSkipVsStepDifferential fuzzes the skip-vs-step boundary
+// across 50 randomized configurations. Every config must produce an
+// identical NoC grant trace, credit trace and aggregate statistics in
+// both modes; across the pool, the event-driven runs must actually have
+// skipped cycles and granted packets (the harness must not pass vacuously).
+func TestRandomizedSkipVsStepDifferential(t *testing.T) {
+	const (
+		baseSeed = uint64(0x5a7a_2026_07_29)
+		horizon  = sara.Cycle(30000)
+	)
+	configs := 50
+	if testing.Short() {
+		configs = 10
+	}
+	var totalGrants, totalSkipped, refreshRuns uint64
+	for i := 0; i < configs; i++ {
+		seed := sim.NewRand(baseSeed).Fork(uint64(i)).Uint64()
+		cfg, desc := fuzzConfig(seed)
+		t.Run(fmt.Sprintf("cfg%02d_%s", i, desc), func(t *testing.T) {
+			ref := captureRun(cfg, false, horizon)
+			fast := captureRun(cfg, true, horizon)
+			if ref.skipped != 0 {
+				t.Fatalf("config seed %#x: force-scan reference skipped %d cycles", seed, ref.skipped)
+			}
+			compareDiff(t, seed, ref, fast)
+			totalGrants += uint64(len(fast.grants))
+			totalSkipped += fast.skipped
+			if cfg.DRAM.Refresh.Enabled {
+				refreshRuns++
+			}
+		})
+	}
+	if totalGrants == 0 || totalSkipped == 0 {
+		t.Fatalf("vacuous fuzz pool: %d grants, %d skipped cycles across %d configs",
+			totalGrants, totalSkipped, configs)
+	}
+	if !testing.Short() && refreshRuns == 0 {
+		t.Fatal("fuzz pool exercised no refresh-enabled configs")
+	}
+}

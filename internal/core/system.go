@@ -47,7 +47,10 @@ type System struct {
 	pool    txn.Pool
 }
 
-// mcSink adapts a memory controller into a NoC sink.
+// mcSink adapts a memory controller into a NoC sink with credit returns:
+// a CAS that frees a slot in a full class queue wakes the root router,
+// which can grant into the slot from the next cycle on (the controller
+// ticks after the router, so the freed slot is usable at now+1).
 type mcSink struct {
 	ctrl *memctrl.Controller
 }
@@ -55,6 +58,20 @@ type mcSink struct {
 func (s mcSink) CanAccept(t *txn.Transaction) bool { return s.ctrl.SpaceFor(t.Class) }
 func (s mcSink) Accept(t *txn.Transaction, now sim.Cycle) {
 	s.ctrl.Enqueue(t, now)
+}
+
+// OnCredit implements noc.CreditSink. A controller has exactly one
+// upstream router; wiring a second would silently steal the first one's
+// credit wakes and break skip-vs-step equivalence, so it panics instead.
+func (s mcSink) OnCredit(w noc.Waker) {
+	if s.ctrl.OnRelease != nil {
+		panic(fmt.Sprintf("core: controller %d already credit-wired", s.ctrl.Config().Channel))
+	}
+	name := fmt.Sprintf("mc%d", s.ctrl.Config().Channel)
+	s.ctrl.OnRelease = func(class txn.Class, now sim.Cycle) {
+		noc.TraceCredit(name, now, int(class), true)
+		w.Wake(now + 1)
+	}
 }
 
 // regionBytes is the address space carved out per DMA. 16 MiB spans many

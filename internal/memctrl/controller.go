@@ -77,6 +77,15 @@ type Controller struct {
 	// adds the response-network latency before notifying the DMA.
 	OnComplete func(t *txn.Transaction, done sim.Cycle)
 
+	// OnRelease is invoked when a CAS frees a slot in a class queue that
+	// was full — the controller-side credit return. The SoC layer wires
+	// it to wake the NoC router feeding this controller, whose
+	// event-driven arbiter sleeps while its heads are blocked on a full
+	// queue instead of polling SpaceFor every cycle. Pops of non-full
+	// queues return no credit: the upstream arbiter was not blocked on
+	// this queue, so its dormancy window already covers the slot.
+	OnRelease func(class txn.Class, now sim.Cycle)
+
 	stats Stats
 
 	// scratch is reused every cycle to collect issuable candidates.
@@ -670,7 +679,12 @@ func (c *Controller) issueCAS(e entry, now sim.Cycle) {
 		c.stats.ServedWrites++
 	}
 	c.dram.Release(e.loc, e.t.ID)
-	c.queues[e.t.Class].remove(e.t.ID)
+	q := &c.queues[e.t.Class]
+	wasFull := q.full()
+	q.remove(e.t.ID)
+	if wasFull && c.OnRelease != nil {
+		c.OnRelease(e.t.Class, now)
+	}
 	if c.refreshOn {
 		c.rankPending[e.loc.Rank]--
 		if c.rankPending[e.loc.Rank] == 0 {

@@ -11,6 +11,16 @@
 // output per DRAM channel. The response path is a fixed-latency pipe
 // handled by the SoC layer, since the figures the paper reports are
 // insensitive to return-path contention.
+//
+// Arbitration is fully event-driven: every router caches nextGrantAt, the
+// exact earliest cycle at which a grant could occur given its head-flit
+// arrival times, per-output credit state and arbiter inputs, and its Tick
+// short-circuits in O(1) on every cycle before that. The cache is re-armed
+// from outside by the two events that can make a grant possible earlier —
+// an upstream injection into one of its ports (Port.Push) and a downstream
+// credit return (a full FIFO pop, or a memory-controller queue release) —
+// so a router stays dormant between grants even while the rest of the
+// system keeps executing cycles.
 package noc
 
 import (
@@ -76,6 +86,18 @@ func DefaultParams() Params {
 	return Params{PortDepth: 16, HopLatency: 2, RespLatency: 12, Arb: ArbPriority, AgingT: 10000}
 }
 
+// Waker is the wake-propagation half of the event-driven arbitration
+// contract: a component that caches its next-grant cycle implements Waker
+// so the events that could make a grant possible earlier — an upstream
+// injection landing mid-sleep, a downstream credit return — can re-arm the
+// cached wake. Re-arming earlier than necessary is always safe (the
+// component scans, finds nothing, and recomputes); failing to re-arm
+// breaks simulation equivalence.
+type Waker interface {
+	// Wake re-arms the receiver to re-evaluate no later than cycle at.
+	Wake(at sim.Cycle)
+}
+
 // packet is a transaction in flight through one router.
 type packet struct {
 	t       *txn.Transaction
@@ -91,10 +113,15 @@ type packet struct {
 type Port struct {
 	fifo  []packet
 	depth int
-	// queued, when wired by a router, tracks the router-wide packet
-	// count so Tick and NextActivity can bail out of an empty router
-	// without touching every port.
-	queued *int
+	// owner, when the port is wired into a router, receives queue
+	// bookkeeping and a wake re-arm on every push, and idx is the port's
+	// index at that router (for the credit trace).
+	owner *Router
+	idx   int
+	// creditTo, when the port is the downstream end of a router-to-router
+	// link, is the upstream router to wake when a pop frees space in a
+	// full FIFO (the credit return).
+	creditTo Waker
 }
 
 // NewPort returns a port with the given FIFO depth.
@@ -108,34 +135,40 @@ func NewPort(depth int) *Port {
 // CanAccept reports whether the FIFO has space.
 func (p *Port) CanAccept() bool { return len(p.fifo) < p.depth }
 
-// Push appends t, becoming arbitrable at readyAt.
+// Push appends t, becoming arbitrable at readyAt. When the port belongs to
+// a router, the push re-arms the router's wake: an injection landing while
+// the router sleeps must be able to pull the next scan forward.
 func (p *Port) Push(t *txn.Transaction, arrived, readyAt sim.Cycle) {
 	if !p.CanAccept() {
 		panic("noc: push to full port")
 	}
 	p.fifo = append(p.fifo, packet{t: t, readyAt: readyAt, arrived: arrived, out: -1})
-	if p.queued != nil {
-		*p.queued++
+	if p.owner != nil {
+		p.owner.queued++
+		p.owner.Wake(readyAt)
 	}
 }
 
 // Len reports the queued packet count.
 func (p *Port) Len() int { return len(p.fifo) }
 
-func (p *Port) head() (packet, bool) {
-	if len(p.fifo) == 0 {
-		return packet{}, false
-	}
-	return p.fifo[0], true
-}
-
-func (p *Port) pop() packet {
+// pop removes the head packet at cycle now. Popping a full FIFO returns a
+// credit to the upstream router, which can use the freed slot from the
+// next cycle on.
+func (p *Port) pop(now sim.Cycle) packet {
+	wasFull := len(p.fifo) == p.depth
 	pk := p.fifo[0]
 	copy(p.fifo, p.fifo[1:])
 	p.fifo[len(p.fifo)-1] = packet{}
 	p.fifo = p.fifo[:len(p.fifo)-1]
-	if p.queued != nil {
-		*p.queued--
+	if p.owner != nil {
+		p.owner.queued--
+		if debugCredit != nil {
+			debugCredit(p.owner.name, now, p.idx, wasFull)
+		}
+	}
+	if wasFull && p.creditTo != nil {
+		p.creditTo.Wake(now + 1)
 	}
 	return pk
 }
@@ -147,6 +180,17 @@ type Sink interface {
 	CanAccept(t *txn.Transaction) bool
 	// Accept consumes t at cycle now.
 	Accept(t *txn.Transaction, now sim.Cycle)
+}
+
+// CreditSink is a Sink that returns credits: it notifies the upstream
+// waker when it transitions from full back to having space, so a router
+// blocked on it can sleep until the credit instead of polling CanAccept
+// every cycle. Sinks that do not implement CreditSink are polled — a
+// router with a ready head blocked on a plain Sink re-scans each cycle.
+type CreditSink interface {
+	Sink
+	// OnCredit registers the upstream waker to notify on credit returns.
+	OnCredit(w Waker)
 }
 
 // PortSink adapts a router input port into a Sink for the upstream router,
@@ -164,6 +208,9 @@ func (s PortSink) Accept(t *txn.Transaction, now sim.Cycle) {
 	s.Port.Push(t, now, now+s.Hop)
 }
 
+// OnCredit implements CreditSink: pops of the full downstream port wake w.
+func (s PortSink) OnCredit(w Waker) { s.Port.creditTo = w }
+
 // Router arbitrates its input ports onto one or more output sinks. Packets
 // are routed to an output by the Route function (e.g. by DRAM channel at
 // the root router; single-output aggregation routers ignore it).
@@ -177,22 +224,36 @@ type Router struct {
 	rrPtr int
 
 	// ready is per-cycle scratch: the arbitrable head of every port,
-	// collected once per Tick so the per-output selection loops do not
+	// collected once per scan so the per-output selection loops do not
 	// re-read FIFOs and re-route packets.
 	ready []readyHead
 	// queued is the live packet count across all input ports.
 	queued int
-	// lastTick and stallFrom batch the stall accounting across
-	// kernel-skipped cycles. stallFrom is the first cycle at which,
-	// absent any activity, a ready head exists — from then on every
-	// skipped cycle stalls, because downstream space cannot change while
-	// the whole system is quiescent, and a grantable head would have
-	// kept the kernel executing. The next executed Tick back-fills the
-	// range in one step. It starts at a head's future readyAt when the
-	// head is still traversing its link, which a boolean "stalled last
-	// tick" flag could not express.
+	// credited marks outputs that return credits (CreditSink). A ready
+	// head blocked on a credited output needs no polling — the credit
+	// re-arms nextGrantAt; a head blocked on an uncredited output forces
+	// a scan every cycle.
+	credited []bool
+
+	// nextGrantAt is the dormancy window: the earliest cycle at which,
+	// absent any external wake, this router could grant. Each full scan
+	// recomputes it exactly from head readyAt times and per-output credit
+	// state; Push and credit returns re-arm it earlier. never means no
+	// grant is possible without an external event. Ticks strictly before
+	// nextGrantAt only settle stall accounting and skip the scan.
+	nextGrantAt sim.Cycle
+
+	// lastTick and stallFrom batch the stall accounting across cycles the
+	// scan did not run (kernel-skipped or dormant). stallFrom is the first
+	// cycle at which, absent any activity, a ready head exists — from then
+	// on every scan-free cycle stalls, because a grantable head would have
+	// re-armed nextGrantAt and forced a scan. It starts at a head's future
+	// readyAt when the head is still traversing its link, which a boolean
+	// "stalled last tick" flag could not express. lastScan tracks the last
+	// cycle the full scan ran, for the sleep-window trace.
 	lastTick  sim.Cycle
 	stallFrom sim.Cycle
+	lastScan  sim.Cycle
 
 	// stats
 	forwarded uint64
@@ -213,8 +274,57 @@ var debugGrant func(name string, now sim.Cycle, port, out int, id uint64)
 // not for concurrent use).
 func SetDebugGrant(fn func(name string, now sim.Cycle, port, out int, id uint64)) { debugGrant = fn }
 
-// neverStall marks a router with no packets: gaps accrue no stalls.
-const neverStall = ^sim.Cycle(0)
+// debugCredit, when set, observes every credit-side pop of a router input
+// port: which port freed a slot and whether the FIFO was full (i.e. the
+// pop actually returned a credit upstream). Controller-side queue releases
+// are reported through TraceCredit by the SoC wiring.
+var debugCredit func(name string, now sim.Cycle, port int, wasFull bool)
+
+// SetDebugCredit installs the credit trace hook (equivalence tests only;
+// not for concurrent use).
+func SetDebugCredit(fn func(name string, now sim.Cycle, port int, wasFull bool)) { debugCredit = fn }
+
+// TraceCredit reports a credit return to the installed credit trace hook.
+// It exists for credit sources outside this package (the memory-controller
+// queue releases wired up by the SoC assembly).
+func TraceCredit(name string, now sim.Cycle, port int, wasFull bool) {
+	if debugCredit != nil {
+		debugCredit(name, now, port, wasFull)
+	}
+}
+
+// debugSleep, when set, observes every sleep window: when a scan runs at
+// cycle b after the previous scan at a-1, the router asserts no grant
+// occurred in [a, b) (tests only).
+var debugSleep func(name string, from, until sim.Cycle)
+
+// SetDebugSleep installs the sleep-window trace hook (tests only).
+func SetDebugSleep(fn func(name string, from, until sim.Cycle)) { debugSleep = fn }
+
+// FlushSleep reports the router's trailing sleep window — the scan-free
+// stretch between its last scan and now — to the sleep-window hook.
+// Windows are otherwise only emitted when a later scan runs, so a test
+// ending its run mid-sleep calls this to close the final window (tests
+// only).
+func (r *Router) FlushSleep(now sim.Cycle) {
+	if debugSleep != nil && now > r.lastScan+1 {
+		debugSleep(r.name, r.lastScan+1, now)
+	}
+}
+
+// forceScan, when set, disables the dormancy short-circuit so Tick runs
+// the full ready-head scan every cycle — the polling reference the
+// differential tests compare the event-driven arbiter against.
+var forceScan bool
+
+// SetForceScan forces the per-cycle reference scan (tests only; use with
+// idle skipping disabled).
+func SetForceScan(on bool) { forceScan = on }
+
+// never marks an unarmed wake: a router with no packets accrues no stalls
+// (stallFrom) and a router whose every head is blocked on a credited sink
+// cannot grant without an external event (nextGrantAt).
+const never = ^sim.Cycle(0)
 
 // readyHead is one port's arbitrable head packet with its routed output.
 type readyHead struct {
@@ -224,7 +334,8 @@ type readyHead struct {
 }
 
 // NewRouter builds a router with nports input ports. route may be nil when
-// there is exactly one output.
+// there is exactly one output. Outputs implementing CreditSink are wired
+// to wake the router on credit returns.
 func NewRouter(name string, params Params, nports int, outputs []Sink, route func(*txn.Transaction) int) *Router {
 	if nports <= 0 || len(outputs) == 0 {
 		panic("noc: router needs ports and outputs")
@@ -235,11 +346,20 @@ func NewRouter(name string, params Params, nports int, outputs []Sink, route fun
 		}
 		route = func(*txn.Transaction) int { return 0 }
 	}
-	r := &Router{name: name, params: params, outputs: outputs, route: route, stallFrom: neverStall}
+	r := &Router{name: name, params: params, outputs: outputs, route: route,
+		stallFrom: never, nextGrantAt: never}
 	r.ports = make([]*Port, nports)
 	for i := range r.ports {
 		r.ports[i] = NewPort(params.PortDepth)
-		r.ports[i].queued = &r.queued
+		r.ports[i].owner = r
+		r.ports[i].idx = i
+	}
+	r.credited = make([]bool, len(outputs))
+	for i, out := range outputs {
+		if cs, ok := out.(CreditSink); ok {
+			cs.OnCredit(r)
+			r.credited[i] = true
+		}
 	}
 	return r
 }
@@ -256,49 +376,36 @@ func (r *Router) Forwarded() uint64 { return r.forwarded }
 // Stalls reports cycles where a ready head existed but nothing was granted.
 func (r *Router) Stalls() uint64 { return r.stalls }
 
-// NextActivity implements sim.Idler: an empty router never acts; a router
-// whose head packets are all still traversing their incoming links acts no
-// earlier than the first head becomes arbitrable; and a router whose ready
-// heads are all blocked downstream only accrues stall cycles, which Tick
-// back-fills exactly — unblocking requires downstream activity, which
-// executes a cycle and re-queries this hint.
-func (r *Router) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
-	if r.queued == 0 {
-		return 0, false
+// Wake implements Waker: re-arm the router to scan no later than cycle at.
+// Earlier than necessary is safe — the scan finds nothing grantable and
+// recomputes the window. Pushes wake at the packet's readyAt; credit
+// returns wake at the cycle after the pop or queue release.
+func (r *Router) Wake(at sim.Cycle) {
+	if at < r.nextGrantAt {
+		r.nextGrantAt = at
 	}
-	var earliest sim.Cycle
-	found := false
-	for _, p := range r.ports {
-		pk, ok := p.head()
-		if !ok {
-			continue
-		}
-		if pk.readyAt <= now {
-			if r.outputs[r.headOut(p)].CanAccept(pk.t) {
-				return now, true
-			}
-			continue
-		}
-		if !found || pk.readyAt < earliest {
-			earliest = pk.readyAt
-			found = true
-		}
-	}
-	return earliest, found
 }
 
-// Tick performs one cycle of switch allocation: at most one grant per
-// output. The arbitrable heads are collected (and routed) once; after a
-// grant, the popped port's next head joins the pool for the remaining
-// outputs, matching the per-output re-read of a straightforward nested
-// scan.
-func (r *Router) Tick(now sim.Cycle) {
-	if r.queued == 0 {
-		return // stallFrom is neverStall: the tick that popped the last packet reset it
+// NextActivity implements sim.Idler from the cached dormancy window: an
+// empty router never acts, and a router whose window is unarmed (every
+// head blocked on a credited sink) acts only after an external wake, which
+// lands on an executed cycle and is observed by the kernel's re-query. The
+// O(ports) work lives in the scan that computed the window, not here.
+func (r *Router) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
+	if r.queued == 0 || r.nextGrantAt == never {
+		return 0, false
 	}
+	if r.nextGrantAt <= now {
+		return now, true
+	}
+	return r.nextGrantAt, true
+}
+
+// accrueStallGap back-fills stall cycles for the scan-free stretch
+// (lastTick, now): every cycle from stallFrom on had a ready head and no
+// grant (the dormancy window proves no grant was possible).
+func (r *Router) accrueStallGap(now sim.Cycle) {
 	if now > r.lastTick+1 && r.stallFrom < now {
-		// Skipped cycles since the last tick: nothing in the system
-		// moved, so every one of them from stallFrom on stalled.
 		from := r.stallFrom
 		if from <= r.lastTick {
 			from = r.lastTick + 1
@@ -308,11 +415,45 @@ func (r *Router) Tick(now sim.Cycle) {
 			debugStall(r.name, now, uint64(now-from), true)
 		}
 	}
+}
+
+// Tick performs one cycle of switch allocation: at most one grant per
+// output. Strictly before the dormancy window opens it only settles stall
+// accounting in O(1); at or after the window it runs the full scan: the
+// arbitrable heads are collected (and routed) once; after a grant, the
+// popped port's next head joins the pool for the remaining outputs,
+// matching the per-output re-read of a straightforward nested scan.
+func (r *Router) Tick(now sim.Cycle) {
+	if r.queued == 0 {
+		return // stallFrom is never: the scan that popped the last packet reset it
+	}
+	if now < r.nextGrantAt && !forceScan {
+		// Dormant: the window proves no grant can occur this cycle, so
+		// the only per-cycle work is the stall accounting the reference
+		// scan would have done.
+		r.accrueStallGap(now)
+		if r.stallFrom <= now {
+			r.stalls++
+			if debugStall != nil {
+				debugStall(r.name, now, 1, false)
+			}
+		}
+		r.lastTick = now
+		return
+	}
+	if debugSleep != nil && now > r.lastScan+1 {
+		debugSleep(r.name, r.lastScan+1, now)
+	}
+	r.accrueStallGap(now)
 	r.lastTick = now
+	r.lastScan = now
 	r.ready = r.ready[:0]
 	oldest := now
 	for i, p := range r.ports {
-		if pk, ok := p.head(); ok && pk.readyAt <= now {
+		if len(p.fifo) == 0 {
+			continue // zero buffered flits: nothing to collect or route
+		}
+		if pk := p.fifo[0]; pk.readyAt <= now {
 			r.ready = append(r.ready, readyHead{idx: i, out: r.headOut(p), pk: pk})
 			if pk.arrived < oldest {
 				oldest = pk.arrived
@@ -328,7 +469,7 @@ func (r *Router) Tick(now sim.Cycle) {
 			continue
 		}
 		h := r.ready[sel]
-		pk := r.ports[h.idx].pop()
+		pk := r.ports[h.idx].pop(now)
 		if debugGrant != nil {
 			debugGrant(r.name, now, h.idx, out, pk.t.ID)
 		}
@@ -337,8 +478,8 @@ func (r *Router) Tick(now sim.Cycle) {
 		granted = true
 		r.rrPtr = (h.idx + 1) % len(r.ports)
 		// Refresh the granted port's cached head for later outputs.
-		if npk, ok := r.ports[h.idx].head(); ok && npk.readyAt <= now {
-			r.ready[sel] = readyHead{idx: h.idx, out: r.headOut(r.ports[h.idx]), pk: npk}
+		if p := r.ports[h.idx]; len(p.fifo) > 0 && p.fifo[0].readyAt <= now {
+			r.ready[sel] = readyHead{idx: h.idx, out: r.headOut(p), pk: p.fifo[0]}
 		} else {
 			r.ready = append(r.ready[:sel], r.ready[sel+1:]...)
 		}
@@ -350,24 +491,35 @@ func (r *Router) Tick(now sim.Cycle) {
 			debugStall(r.name, now, 1, false)
 		}
 	}
-	// Recompute when stalling would resume if the system goes quiescent:
-	// the first cycle any head is arbitrable — now+1 for heads already
-	// ready (they survived ungranted, so they are blocked), a future
-	// readyAt for heads still traversing their links. Grantable heads
-	// keep the kernel executing, so genuinely skipped cycles past this
-	// point all stall.
-	r.stallFrom = neverStall
+	// Recompute the dormancy window and the stall origin from the
+	// post-grant state. A head still traversing its link opens the window
+	// at its readyAt; a ready head that survived ungranted opens it at
+	// now+1 if its output can accept (it may win next cycle) or is not
+	// credit-wired (it must be polled); a ready head blocked on a
+	// credited output contributes nothing — the credit return re-arms the
+	// window. stallFrom is the first cycle any head is arbitrable: every
+	// scan-free cycle from then on stalls.
+	r.stallFrom = never
+	next := never
 	for _, p := range r.ports {
-		if pk, ok := p.head(); ok {
-			at := pk.readyAt
-			if at <= now {
-				at = now + 1
+		if len(p.fifo) == 0 {
+			continue
+		}
+		pk := &p.fifo[0]
+		at := pk.readyAt
+		if at <= now {
+			at = now + 1
+			if out := r.headOut(p); !r.credited[out] || r.outputs[out].CanAccept(pk.t) {
+				next = at
 			}
-			if at < r.stallFrom {
-				r.stallFrom = at
-			}
+		} else if at < next {
+			next = at
+		}
+		if at < r.stallFrom {
+			r.stallFrom = at
 		}
 	}
+	r.nextGrantAt = next
 }
 
 // headOut returns the routed output of p's head packet, computing and

@@ -180,6 +180,167 @@ func TestAgingBeatsPriority(t *testing.T) {
 	}
 }
 
+// --- event-driven arbitration: dormancy windows and credit returns ---
+
+// next is NextActivity unpacked for terse assertions.
+func next(r *Router, now sim.Cycle) (sim.Cycle, bool) { return r.NextActivity(now) }
+
+func TestEmptyRouterReportsNoActivity(t *testing.T) {
+	r := NewRouter("t", params(ArbFCFS), 2, []Sink{&collectSink{}}, nil)
+	if _, ok := next(r, 0); ok {
+		t.Fatal("empty router reported activity")
+	}
+}
+
+func TestPushReArmsDormantRouter(t *testing.T) {
+	sink := &collectSink{}
+	r := NewRouter("t", params(ArbFCFS), 1, []Sink{sink}, nil)
+	r.Port(0).Push(tx(1, 0), 0, 7) // still traversing its link until cycle 7
+	if at, ok := next(r, 1); !ok || at != 7 {
+		t.Fatalf("NextActivity = (%d, %v), want (7, true)", at, ok)
+	}
+	// Ticks before the head is arbitrable must not grant (dormant path).
+	for c := sim.Cycle(1); c < 7; c++ {
+		r.Tick(c)
+	}
+	if len(sink.got) != 0 {
+		t.Fatal("granted before the head finished its hop")
+	}
+	// A second injection with an earlier readyAt pulls the wake forward.
+	r.Port(0).Push(tx(2, 0), 0, 3)
+	if at, ok := next(r, 1); !ok || at != 3 {
+		t.Fatalf("after earlier push NextActivity = (%d, %v), want (3, true)", at, ok)
+	}
+	r.Tick(7)
+	if len(sink.got) != 1 || sink.got[0].ID != 1 {
+		t.Fatalf("granted %v, want head 1 at cycle 7", ids(sink.got))
+	}
+}
+
+// TestCreditReturnWakesBlockedUpstream chains two routers through a
+// PortSink and checks the full dormancy round trip: the upstream router
+// sleeps (NextActivity false) while its head is blocked on the full
+// downstream port, and the downstream pop returns a credit that re-arms
+// the upstream wake at exactly pop+1.
+func TestCreditReturnWakesBlockedUpstream(t *testing.T) {
+	pr := params(ArbFCFS)
+	pr.PortDepth = 2
+	final := &collectSink{full: true}
+	down := NewRouter("down", pr, 1, []Sink{final}, nil)
+	up := NewRouter("up", pr, 1, []Sink{PortSink{Port: down.Port(0), Hop: 0}}, nil)
+
+	// Fill the downstream port (depth 2) through upstream grants, plus one
+	// more packet that stays blocked upstream.
+	up.Port(0).Push(tx(1, 0), 0, 0)
+	up.Port(0).Push(tx(2, 0), 0, 0)
+	up.Tick(0)
+	up.Port(0).Push(tx(3, 0), 0, 0)
+	up.Tick(1)
+	if down.Port(0).Len() != 2 {
+		t.Fatalf("downstream port holds %d, want 2 (full)", down.Port(0).Len())
+	}
+	up.Tick(2) // head 3 is ready but the downstream port is full
+	if _, ok := next(up, 3); ok {
+		t.Fatal("upstream blocked on a credited sink must report no activity")
+	}
+	stallsBefore := up.Stalls()
+
+	// Downstream unblocks and pops at cycle 5: the credit must re-arm the
+	// upstream wake to cycle 6.
+	final.full = false
+	down.Tick(5)
+	if at, ok := next(up, 5); !ok || at != 6 {
+		t.Fatalf("after credit NextActivity = (%d, %v), want (6, true)", at, ok)
+	}
+	up.Tick(6)
+	if down.Port(0).Len() != 2 {
+		t.Fatal("upstream did not grant into the credited slot")
+	}
+	// Cycles 3..5 had a ready head and no grant: the dormant path must
+	// have accrued them (3, 4) plus the blocked scan at 6... the exact
+	// per-cycle set is pinned by the system-level stall equivalence test;
+	// here just require the counter moved while asleep.
+	up.Tick(7)
+	if up.Stalls() <= stallsBefore {
+		t.Fatalf("blocked dormant stretch accrued no stalls (%d -> %d)", stallsBefore, up.Stalls())
+	}
+}
+
+// TestUncreditedSinkIsPolled pins the compatibility path: a ready head
+// blocked on a sink that cannot return credits (plain Sink) keeps the
+// router polling every cycle, so unblocking the sink out-of-band is
+// observed without any wake.
+func TestUncreditedSinkIsPolled(t *testing.T) {
+	sink := &collectSink{full: true}
+	r := NewRouter("t", params(ArbFCFS), 1, []Sink{sink}, nil)
+	r.Port(0).Push(tx(1, 0), 0, 0)
+	r.Tick(1)
+	if at, ok := next(r, 1); !ok || at != 2 {
+		t.Fatalf("NextActivity = (%d, %v), want the next poll (2, true)", at, ok)
+	}
+	sink.full = false
+	r.Tick(2)
+	if len(sink.got) != 1 {
+		t.Fatal("polled router missed the out-of-band unblock")
+	}
+}
+
+// TestDormantMatchesForceScan drives the same randomized push/drain
+// schedule through a dormant router and a force-scan (per-cycle
+// reference) router and requires identical grants, stalls and forwarded
+// counts — the unit-level version of the skip-vs-step differential.
+func TestDormantMatchesForceScan(t *testing.T) {
+	type result struct {
+		granted []uint64
+		cycles  []sim.Cycle
+		stalls  uint64
+	}
+	run := func(force bool) result {
+		SetForceScan(force)
+		defer SetForceScan(false)
+		rng := sim.NewRand(99)
+		sink := &collectSink{}
+		pr := params(ArbPriority)
+		pr.PortDepth = 3
+		pr.AgingT = 40
+		r := NewRouter("t", pr, 3, []Sink{sink}, nil)
+		id := uint64(0)
+		var res result
+		for c := sim.Cycle(0); c < 3000; c++ {
+			sink.full = rng.Bool(0.6)
+			if rng.Bool(0.3) {
+				p := r.Port(rng.Intn(3))
+				if p.CanAccept() {
+					id++
+					p.Push(tx(id, txn.Priority(rng.Intn(8))), c, c+sim.Cycle(rng.Intn(4)))
+				}
+			}
+			before := len(sink.got)
+			r.Tick(c)
+			for _, g := range sink.got[before:] {
+				res.granted = append(res.granted, g.ID)
+				res.cycles = append(res.cycles, c)
+			}
+		}
+		res.stalls = r.Stalls()
+		return res
+	}
+	ref, fast := run(true), run(false)
+	if len(ref.granted) == 0 {
+		t.Fatal("reference run granted nothing; schedule too weak")
+	}
+	if len(ref.granted) != len(fast.granted) || ref.stalls != fast.stalls {
+		t.Fatalf("grants %d/%d stalls %d/%d differ between force-scan and dormant",
+			len(ref.granted), len(fast.granted), ref.stalls, fast.stalls)
+	}
+	for i := range ref.granted {
+		if ref.granted[i] != fast.granted[i] || ref.cycles[i] != fast.cycles[i] {
+			t.Fatalf("grant %d: reference (%d@%d), dormant (%d@%d)", i,
+				ref.granted[i], ref.cycles[i], fast.granted[i], fast.cycles[i])
+		}
+	}
+}
+
 func ids(ts []*txn.Transaction) []uint64 {
 	var out []uint64
 	for _, t := range ts {

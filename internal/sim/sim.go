@@ -44,6 +44,18 @@ type Ticker interface {
 // earlier cycle than necessary is always safe (the kernel merely executes
 // a cycle that turns out to be uneventful); reporting a later cycle than
 // the component's true next action breaks simulation equivalence.
+//
+// Wake propagation: a component may cache its next-activity cycle instead
+// of recomputing it per query — but then any other component whose action
+// could advance the sleeper's next action to an EARLIER cycle (an
+// upstream injection landing in its queue mid-sleep, a downstream credit
+// return unblocking it) must re-arm the cached wake during the executed
+// cycle in which that action happens (see noc.Waker). The kernel
+// re-queries every hint after each executed cycle, and external actions
+// only ever happen on executed cycles, so a re-armed earlier wake is
+// always observed before any further fast-forwarding. A cached hint that
+// nothing re-arms must therefore be a sound lower bound on the
+// component's next action given a frozen rest-of-system.
 type Idler interface {
 	// NextActivity reports the earliest cycle >= now at which the
 	// component may act on the system, or ok=false if it will never act

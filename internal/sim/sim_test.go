@@ -329,6 +329,75 @@ func TestKernelNextWake(t *testing.T) {
 	}
 }
 
+// cachedSleeper models a component that caches its wake cycle instead of
+// recomputing it per query — the noc.Router idiom. Its NextActivity is a
+// pure read of the cache; Rearm is the external wake propagation.
+type cachedSleeper struct {
+	wakeAt Cycle
+	acted  []Cycle
+}
+
+const sleeperNever = ^Cycle(0)
+
+func (s *cachedSleeper) Rearm(at Cycle) {
+	if at < s.wakeAt {
+		s.wakeAt = at
+	}
+}
+
+func (s *cachedSleeper) Tick(now Cycle) {
+	if now >= s.wakeAt {
+		s.acted = append(s.acted, now)
+		s.wakeAt = sleeperNever
+	}
+}
+
+func (s *cachedSleeper) NextActivity(now Cycle) (Cycle, bool) {
+	if s.wakeAt == sleeperNever {
+		return 0, false
+	}
+	if s.wakeAt <= now {
+		return now, true
+	}
+	return s.wakeAt, true
+}
+
+// TestKernelReArmedWakeHonored pins the wake-propagation contract for
+// components that cache their next activity: when an external event lands
+// mid-sleep and re-arms an EARLIER wake, the kernel must execute the
+// re-armed cycle — re-querying hints after every executed cycle is what
+// makes the cached-wake idiom sound. The skipping run must act on exactly
+// the same cycles as the cycle-stepped reference.
+func TestKernelReArmedWakeHonored(t *testing.T) {
+	run := func(skip bool) []Cycle {
+		var k Kernel
+		s := &cachedSleeper{wakeAt: 900}
+		k.Register(s)
+		// The upstream injections: at cycle 50 something lands in the
+		// sleeper's queue that advances its next action to cycle 55
+		// (ahead of the cached 900), and after the cache is consumed a
+		// second injection at 300 arms a fresh wake.
+		k.At(50, func(now Cycle) { s.Rearm(now + 5) })
+		k.At(300, func(now Cycle) { s.Rearm(now + 10) })
+		k.SetIdleSkip(skip)
+		k.Run(1000)
+		return s.acted
+	}
+	ref, fast := run(false), run(true)
+	want := []Cycle{55, 310}
+	if len(ref) != len(want) || ref[0] != want[0] || ref[1] != want[1] {
+		t.Fatalf("reference acted at %v, want %v", ref, want)
+	}
+	if len(fast) != len(ref) {
+		t.Fatalf("skipping acted at %v, reference at %v", fast, ref)
+	}
+	for i := range ref {
+		if fast[i] != ref[i] {
+			t.Fatalf("skipping acted at %v, reference at %v", fast, ref)
+		}
+	}
+}
+
 func TestEventHeapManyEvents(t *testing.T) {
 	var k Kernel
 	r := NewRand(9)

@@ -36,10 +36,21 @@ type tracedGrant struct {
 	id     uint64
 }
 
+// tracedCredit is one credit-side event: a router input-port pop (wasFull
+// marks pops that actually returned a credit upstream) or a controller
+// class-queue release (name "mcN", port = class, always wasFull).
+type tracedCredit struct {
+	name    string
+	now     sim.Cycle
+	port    int
+	wasFull bool
+}
+
 type traces struct {
-	cmds   []tracedCmd
-	injs   []tracedInj
-	grants []tracedGrant
+	cmds    []tracedCmd
+	injs    []tracedInj
+	grants  []tracedGrant
+	credits []tracedCredit
 }
 
 func runTraced(policy sara.Policy, skip, refresh bool, cycles sim.Cycle) traces {
@@ -53,9 +64,13 @@ func runTraced(policy sara.Policy, skip, refresh bool, cycles sim.Cycle) traces 
 	noc.SetDebugGrant(func(name string, now sim.Cycle, port, out int, id uint64) {
 		tr.grants = append(tr.grants, tracedGrant{name, now, port, out, id})
 	})
+	noc.SetDebugCredit(func(name string, now sim.Cycle, port int, wasFull bool) {
+		tr.credits = append(tr.credits, tracedCredit{name, now, port, wasFull})
+	})
 	defer memctrl.SetDebugTrace(nil)
 	defer dma.SetDebugInject(nil)
 	defer noc.SetDebugGrant(nil)
+	defer noc.SetDebugCredit(nil)
 	sys := sara.Build(sara.Camcorder(sara.CaseA,
 		sara.WithPolicy(policy), sara.WithRefresh(refresh)))
 	sys.Kernel().SetIdleSkip(skip)
@@ -95,8 +110,34 @@ func compareTraces(t *testing.T, ref, fast traces) {
 				i, ref.grants[i], fast.grants[i])
 		}
 	}
-	if len(ref.cmds) == 0 || len(ref.injs) == 0 || len(ref.grants) == 0 {
+	if len(ref.credits) != len(fast.credits) {
+		t.Fatalf("credit counts differ: %d vs %d", len(ref.credits), len(fast.credits))
+	}
+	for i := range ref.credits {
+		if ref.credits[i] != fast.credits[i] {
+			t.Fatalf("credit %d differs: reference %+v, idle-skipping %+v",
+				i, ref.credits[i], fast.credits[i])
+		}
+	}
+	if len(ref.cmds) == 0 || len(ref.injs) == 0 || len(ref.grants) == 0 || len(ref.credits) == 0 {
 		t.Fatal("empty traces; the system did not run")
+	}
+	// The stream must contain genuine credit returns on both sides of the
+	// boundary: full-port pops and full-queue controller releases.
+	var portCredits, mcCredits int
+	for _, c := range ref.credits {
+		if !c.wasFull {
+			continue
+		}
+		if len(c.name) > 2 && c.name[:2] == "mc" {
+			mcCredits++
+		} else {
+			portCredits++
+		}
+	}
+	if portCredits == 0 || mcCredits == 0 {
+		t.Fatalf("credit trace has %d port credits and %d controller credits; the workload should backpressure both",
+			portCredits, mcCredits)
 	}
 }
 
