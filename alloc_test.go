@@ -57,6 +57,25 @@ func TestSteadyStateAllocationsLoaded(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocationsScaled pins the 4x scaled SoC: eight
+// channels of per-bank bucket maintenance — pushes, removals, dirty
+// marks, cached-bound refreshes — must run entirely on preallocated
+// state even with four times the DMAs flooding the system.
+func TestSteadyStateAllocationsScaled(t *testing.T) {
+	sys := sara.Build(sara.ScaledSaturated(4))
+	sys.RunFrames(1)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		sys.Run(1000)
+	})
+	// The budget scales with the roster: the only steady-state allocations
+	// are the amortized NPI time-series appends, and the 4x system carries
+	// four times the metered units of the base case (whose budget is 2).
+	if allocs > 8 {
+		t.Fatalf("scaled loaded phase allocates %.1f times per 1000 cycles, want <= 8", allocs)
+	}
+}
+
 // TestSteadyStateAllocationsReference pins the cycle-stepped reference
 // path too: allocation freedom must not depend on idle skipping.
 func TestSteadyStateAllocationsReference(t *testing.T) {

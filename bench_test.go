@@ -237,6 +237,28 @@ func BenchmarkLoadedPhaseThroughput(b *testing.B) {
 	b.ReportMetric(100*float64(sys.Kernel().SkippedCycles())/float64(sys.Now()), "%skipped")
 }
 
+// BenchmarkLoadedPhaseThroughputScaled measures the saturated phase on
+// the scaled SoC configs (2x and 4x channels and cores). The number to
+// compare across sizes is ns/cycle divided by the channel count: the
+// per-bank candidate buckets keep each controller's scan proportional to
+// active banks rather than queue depth, so per-channel cost should stay
+// near-flat as the system grows. Allocs/op must stay at 0 at every scale.
+func BenchmarkLoadedPhaseThroughputScaled(b *testing.B) {
+	for _, factor := range []int{2, 4} {
+		factor := factor
+		b.Run(fmt.Sprintf("%dx", factor), func(b *testing.B) {
+			sys := sara.Build(sara.ScaledSaturated(factor))
+			sys.RunFrames(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Run(1000)
+			}
+			b.ReportMetric(1000, "cycles/op")
+			b.ReportMetric(float64(sys.Config().DRAM.Geometry.Channels), "channels")
+		})
+	}
+}
+
 // BenchmarkLoadedPhaseThroughputReference is the loaded-phase measurement
 // with idle skipping disabled — the cycle-stepped floor the event-driven
 // NoC is compared against.

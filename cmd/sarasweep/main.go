@@ -8,15 +8,17 @@
 //	sarasweep -sweep aging
 //	sarasweep -sweep refresh
 //	sarasweep -sweep seeds
+//	sarasweep -sweep scale
 //
 // The -refresh flag enables LPDDR4 refresh in the delta/bits/aging/seeds
-// sweeps so any ablation can be re-run under refresh pressure.
+// and scale sweeps so any ablation can be re-run under refresh pressure.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"sara"
 	"sara/internal/config"
@@ -45,6 +47,8 @@ func main() {
 		sweepRefresh(*scale)
 	case "seeds":
 		sweepSeeds(*scale, *refresh)
+	case "scale":
+		sweepScale(*scale, *refresh)
 	default:
 		log.Fatalf("unknown sweep %q", *sweep)
 	}
@@ -169,6 +173,35 @@ func sweepRefresh(scale int) {
 				sys.DRAM().Stats().Totals().Refreshes,
 				100*sys.DRAM().RefreshDuty(sys.Now()), worst)
 		}
+	}
+}
+
+// sweepScale grows the saturated workload to 2x and 4x channels and
+// cores and measures the loaded-phase simulation cost. The number to
+// watch is ns/cycle/channel: the controllers' per-bank candidate buckets
+// and the routers' grant dormancy keep the per-channel scheduling cost
+// near-flat as the SoC grows, instead of re-inflating with total queue
+// depth.
+func sweepScale(scale int, refresh bool) {
+	fmt.Println("scale  channels  DMAs  bandwidth(GB/s)  ns/cycle  ns/cycle/channel")
+	for _, factor := range []int{1, 2, 4} {
+		cfg := sara.ScaledSaturated(factor,
+			sara.WithScaleDiv(scale),
+			sara.WithRefresh(refresh))
+		sys := sara.Build(cfg)
+		sys.RunFrames(1) // reach the saturated steady state
+		from := sys.Now()
+		before := sys.DRAM().Stats()
+		start := time.Now()
+		sys.RunFrames(1)
+		elapsed := time.Since(start)
+		cycles := float64(sys.Now() - from)
+		nsPerCycle := float64(elapsed.Nanoseconds()) / cycles
+		ch := cfg.DRAM.Geometry.Channels
+		fmt.Printf("%4dx  %8d  %4d  %15.2f  %8.0f  %16.0f\n",
+			factor, ch, len(cfg.DMAs),
+			sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()),
+			nsPerCycle, nsPerCycle/float64(ch))
 	}
 }
 

@@ -86,8 +86,21 @@ func fuzzConfig(seed uint64) (sara.Config, string) {
 		cfg.QueueCaps = memctrl.QueueCaps{16, 16, 12, 24, 16}
 	}
 
-	desc := fmt.Sprintf("case%v/%v/refresh=%v/dmas=%d/depth=%d/hop=%d",
-		tc, policy, refresh, len(cfg.DMAs), cfg.NoC.PortDepth, cfg.NoC.HopLatency)
+	// SoC scale: a slice of the pool runs at 2x or 4x channels and cores,
+	// so the controllers' per-bank bucket invalidation is differentially
+	// fuzzed across system sizes (the force-scan stepped reference
+	// re-derives candidates from scratch every cycle).
+	factor := 1
+	switch rng.Intn(5) {
+	case 3:
+		factor = 2
+	case 4:
+		factor = 4
+	}
+	cfg = sara.ScaleSoC(cfg, factor)
+
+	desc := fmt.Sprintf("case%v/%v/refresh=%v/dmas=%d/depth=%d/hop=%d/scale=%dx",
+		tc, policy, refresh, len(cfg.DMAs), cfg.NoC.PortDepth, cfg.NoC.HopLatency, factor)
 	return cfg, desc
 }
 
@@ -109,6 +122,8 @@ type diffResult struct {
 func captureRun(cfg sara.Config, skip bool, horizon sara.Cycle) diffResult {
 	var res diffResult
 	noc.SetForceScan(!skip)
+	memctrl.SetForceScan(!skip)
+	defer memctrl.SetForceScan(false)
 	noc.SetDebugGrant(func(name string, now sim.Cycle, port, out int, id uint64) {
 		res.grants = append(res.grants, tracedGrant{name, now, port, out, id})
 	})
@@ -210,7 +225,7 @@ func TestRandomizedSkipVsStepDifferential(t *testing.T) {
 	if testing.Short() {
 		configs = 10
 	}
-	var totalGrants, totalSkipped, refreshRuns uint64
+	var totalGrants, totalSkipped, refreshRuns, scaledRuns uint64
 	for i := 0; i < configs; i++ {
 		seed := sim.NewRand(baseSeed).Fork(uint64(i)).Uint64()
 		cfg, desc := fuzzConfig(seed)
@@ -226,6 +241,9 @@ func TestRandomizedSkipVsStepDifferential(t *testing.T) {
 			if cfg.DRAM.Refresh.Enabled {
 				refreshRuns++
 			}
+			if cfg.DRAM.Geometry.Channels > 2 {
+				scaledRuns++
+			}
 		})
 	}
 	if totalGrants == 0 || totalSkipped == 0 {
@@ -234,5 +252,8 @@ func TestRandomizedSkipVsStepDifferential(t *testing.T) {
 	}
 	if !testing.Short() && refreshRuns == 0 {
 		t.Fatal("fuzz pool exercised no refresh-enabled configs")
+	}
+	if !testing.Short() && scaledRuns == 0 {
+		t.Fatal("fuzz pool exercised no scaled-SoC configs")
 	}
 }

@@ -143,3 +143,73 @@ func TestSaturatedDemandExceedsCamcorder(t *testing.T) {
 		t.Fatalf("saturated demand %.1f GB/s too low to stress the DRAM", sat)
 	}
 }
+
+func TestScaleSoCGeometryAndRoster(t *testing.T) {
+	base := Camcorder(CaseA)
+	for _, factor := range []int{1, 2, 4} {
+		cfg := ScaleSoC(Camcorder(CaseA), factor)
+		if got, want := cfg.DRAM.Geometry.Channels, base.DRAM.Geometry.Channels*factor; got != want {
+			t.Fatalf("%dx channels = %d, want %d", factor, got, want)
+		}
+		if got, want := len(cfg.DMAs), len(base.DMAs)*factor; got != want {
+			t.Fatalf("%dx roster size = %d, want %d", factor, got, want)
+		}
+		if err := cfg.DRAM.Validate(); err != nil {
+			t.Fatalf("%dx config invalid: %v", factor, err)
+		}
+		seen := make(map[string]bool, len(cfg.DMAs))
+		for _, spec := range cfg.DMAs {
+			if seen[spec.Label()] {
+				t.Fatalf("%dx roster duplicates label %q", factor, spec.Label())
+			}
+			seen[spec.Label()] = true
+		}
+	}
+}
+
+func TestScaleSoCComposes(t *testing.T) {
+	twice := ScaleSoC(ScaleSoC(Camcorder(CaseA), 2), 2)
+	once := ScaleSoC(Camcorder(CaseA), 4)
+	if twice.DRAM.Geometry.Channels != once.DRAM.Geometry.Channels {
+		t.Fatalf("2x twice gives %d channels, 4x once gives %d",
+			twice.DRAM.Geometry.Channels, once.DRAM.Geometry.Channels)
+	}
+	if len(twice.DMAs) != len(once.DMAs) {
+		t.Fatalf("2x twice gives %d DMAs, 4x once gives %d", len(twice.DMAs), len(once.DMAs))
+	}
+	seen := make(map[string]bool, len(twice.DMAs))
+	for _, spec := range twice.DMAs {
+		if seen[spec.Label()] {
+			t.Fatalf("repeated scaling duplicates label %q", spec.Label())
+		}
+		seen[spec.Label()] = true
+	}
+}
+
+func TestScaleSoCRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for factor 3")
+		}
+	}()
+	ScaleSoC(Camcorder(CaseA), 3)
+}
+
+func TestScaledCamcorderBuildsAndRuns(t *testing.T) {
+	cfg := ScaledCamcorder(CaseA, 2, WithRefresh(true))
+	if !cfg.DRAM.Refresh.Enabled {
+		t.Fatal("options must apply after scaling")
+	}
+	sys := core.Build(cfg)
+	sys.Run(20000)
+	var served uint64
+	for _, c := range sys.Controllers() {
+		served += c.Stats().Served
+	}
+	if len(sys.Controllers()) != 4 {
+		t.Fatalf("built %d controllers, want 4", len(sys.Controllers()))
+	}
+	if served == 0 {
+		t.Fatal("scaled system served no transactions")
+	}
+}

@@ -1,0 +1,79 @@
+package config
+
+import (
+	"fmt"
+
+	"sara/internal/core"
+)
+
+// ScaleSoC grows cfg into a factor-times-larger system: factor× DRAM
+// channels (each with its own memory controller, root-router output and
+// data bus) and factor× copies of the DMA roster, so total demand and
+// total capacity grow together and per-channel pressure stays comparable
+// to the base configuration. factor must be a power of two so the channel
+// count stays a power of two (the address mapper interleaves on channel
+// bits); 1 returns cfg unchanged.
+//
+// Roster copies get distinct core names ("GPU" → "GPU×2", …) and keep
+// their traffic shapes, classes and QoS tables; every DMA draws its own
+// forked RNG stream from the builder, so copies de-correlate naturally.
+// The configs exist to demonstrate that the event-driven controllers and
+// routers keep loaded-phase cost near-flat as the SoC grows — the
+// per-bank candidate buckets make a controller scan proportional to
+// active banks, not queue depth — and to widen the differential fuzz
+// harness across system sizes.
+func ScaleSoC(cfg core.Config, factor int) core.Config {
+	if factor == 1 {
+		return cfg
+	}
+	if factor < 1 || factor&(factor-1) != 0 {
+		panic(fmt.Sprintf("config: SoC scale factor %d must be a power of two", factor))
+	}
+	cfg.DRAM.Geometry.Channels *= factor
+	base := cfg.DMAs
+	out := make([]core.DMASpec, 0, len(base)*factor)
+	out = append(out, base...)
+	// Core names must stay unique (Build panics on duplicate DMA labels),
+	// including when scaling an already-scaled config — a copy whose
+	// suffixed name collides with an existing core bumps its suffix, so
+	// ScaleSoC(ScaleSoC(cfg, 2), 2) composes into the 4x system.
+	seen := make(map[string]bool, len(base)*factor)
+	for _, spec := range base {
+		seen[spec.Core] = true
+	}
+	for rep := 2; rep <= factor; rep++ {
+		for _, spec := range base {
+			for n := rep; ; n++ {
+				if name := fmt.Sprintf("%s×%d", spec.Core, n); !seen[name] {
+					spec.Core = name
+					break
+				}
+			}
+			seen[spec.Core] = true
+			out = append(out, spec)
+		}
+	}
+	cfg.DMAs = out
+	return cfg
+}
+
+// ScaledCamcorder returns the camcorder use case scaled to factor×
+// channels and cores, with opts applied after scaling.
+func ScaledCamcorder(tc Case, factor int, opts ...Option) core.Config {
+	cfg := ScaleSoC(Camcorder(tc), factor)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// ScaledSaturated returns the bandwidth-bound Fig. 8 variant scaled to
+// factor× channels and cores — the loaded-phase scaling benchmark, where
+// every channel stays saturated and the per-cycle machinery is everything.
+func ScaledSaturated(factor int, opts ...Option) core.Config {
+	cfg := ScaleSoC(Saturated(), factor)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}

@@ -50,7 +50,11 @@ type System struct {
 // mcSink adapts a memory controller into a NoC sink with credit returns:
 // a CAS that frees a slot in a full class queue wakes the root router,
 // which can grant into the slot from the next cycle on (the controller
-// ticks after the router, so the freed slot is usable at now+1).
+// ticks after the router, so the freed slot is usable at now+1). Accept
+// is also the enqueue edge of the controller's per-bank candidate
+// buckets: Enqueue files the transaction into its bank bucket and resets
+// the controller's dormancy window, so a packet granted mid-quiescence
+// is scheduled on the very next executed cycle (see memctrl/bucket.go).
 type mcSink struct {
 	ctrl *memctrl.Controller
 }

@@ -461,6 +461,19 @@ func (d *DRAM) BlackoutEnd(ch, r int) sim.Cycle {
 // turns the per-entry work into pure arithmetic on a small flat array.
 // The snapshot stays valid for the whole scan because nothing but the
 // scanning controller mutates its channel.
+//
+// Timing-gate monotonicity is a contract, not an accident: every gate in
+// the snapshot (bank CAS/PRE/ACT, rank tRRD/tFAW, channel CAS spacing and
+// bus occupancy) only ever moves LATER as commands issue — issuers fold
+// new constraints with maxCycle, and the bus re-books only after its
+// previous booking has cleared. The controller's per-bank candidate
+// buckets (memctrl/bucket.go) depend on this to keep cached
+// earliest-issuable bounds sound between scans: a gate that could move
+// earlier without a command issuing on that bank would silently break
+// skip-vs-step equivalence. The non-monotone inputs — row/reservation
+// state and the refresh drain mask — are exactly the ones the patch
+// points below (RefreshScanBank after a bank command, RefreshScanRank
+// after a REF) hand back to the controller for explicit invalidation.
 
 // BankScan is one bank's scan-relevant state.
 type BankScan struct {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"sara/internal/config"
@@ -26,17 +27,24 @@ func RunSeeds(tc config.Case, policy memctrl.PolicyKind, seeds []uint64, opt Opt
 }
 
 // WorstNPISummary aggregates the per-seed worst min-NPI (the scalar the
-// figure pass/fail calls key on) into mean / std / 95% CI.
+// figure pass/fail calls key on) into mean / std / 95% CI. Runs whose
+// MinNPI map is empty — no metered core produced a sample, e.g. a
+// CPU-only roster or a horizon shorter than the sampling period — carry
+// no worst NPI and are skipped, rather than poisoning the summary with a
+// sentinel; the Summary's N reports how many runs actually contributed.
 func WorstNPISummary(runs []PolicyRun) stats.Summary {
-	xs := make([]float64, len(runs))
-	for i, r := range runs {
-		worst := 1e18
+	xs := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		if len(r.MinNPI) == 0 {
+			continue
+		}
+		worst := math.Inf(1)
 		for _, v := range r.MinNPI {
 			if v < worst {
 				worst = v
 			}
 		}
-		xs[i] = worst
+		xs = append(xs, worst)
 	}
 	return stats.Summarize(xs)
 }
@@ -57,8 +65,21 @@ func FormatSeedSummary(runs []PolicyRun) string {
 	}
 	var b strings.Builder
 	npi, bw := WorstNPISummary(runs), BandwidthSummary(runs)
-	fmt.Fprintf(&b, "case %s / policy %-9s  %d seeds\n", runs[0].Case, runs[0].Policy, npi.N)
-	fmt.Fprintf(&b, "  worst min NPI  %6.3f +/- %.3f (std %.3f)\n", npi.Mean, npi.CI95, npi.Std)
+	fmt.Fprintf(&b, "case %s / policy %-9s  %d seeds\n", runs[0].Case, runs[0].Policy, len(runs))
+	switch {
+	case npi.N == 0:
+		// No run produced an NPI sample (no metered core reached the
+		// sampling period); zero-value statistics would read as
+		// catastrophic starvation, so say "no data" instead.
+		fmt.Fprintf(&b, "  worst min NPI  no NPI samples in %d runs\n", len(runs))
+	case npi.N < len(runs):
+		// Some runs produced no NPI samples; the NPI line covers only
+		// the contributors.
+		fmt.Fprintf(&b, "  worst min NPI  %6.3f +/- %.3f (std %.3f, %d/%d seeds)\n",
+			npi.Mean, npi.CI95, npi.Std, npi.N, len(runs))
+	default:
+		fmt.Fprintf(&b, "  worst min NPI  %6.3f +/- %.3f (std %.3f)\n", npi.Mean, npi.CI95, npi.Std)
+	}
 	fmt.Fprintf(&b, "  bandwidth GB/s %6.2f +/- %.2f (std %.2f)\n", bw.Mean, bw.CI95, bw.Std)
 	return b.String()
 }

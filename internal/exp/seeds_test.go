@@ -78,3 +78,28 @@ func TestSeedFanOutRerunIdentity(t *testing.T) {
 		t.Fatalf("nonzero spread with zero CI: %+v", a)
 	}
 }
+
+// TestWorstNPISummarySkipsEmptyRuns is the sentinel-leak regression: a
+// run with an empty MinNPI map (no metered core produced a sample) must
+// not contribute a huge sentinel "worst" to the summary — it is skipped,
+// and N reports only contributing runs.
+func TestWorstNPISummarySkipsEmptyRuns(t *testing.T) {
+	runs := []PolicyRun{
+		{MinNPI: map[string]float64{"Display": 1.1, "DSP": 0.9}},
+		{MinNPI: map[string]float64{}}, // no samples: must be skipped
+		{MinNPI: nil},                  // likewise
+		{MinNPI: map[string]float64{"Display": 1.3}},
+	}
+	s := WorstNPISummary(runs)
+	if s.N != 2 {
+		t.Fatalf("summary N = %d, want 2 (empty runs skipped)", s.N)
+	}
+	if want := (0.9 + 1.3) / 2; math.Abs(s.Mean-want) > 1e-12 {
+		t.Fatalf("summary mean %v, want %v (a sentinel leaked in)", s.Mean, want)
+	}
+
+	// All-empty input degrades to the zero summary, not to NaN or 1e18.
+	if s := WorstNPISummary([]PolicyRun{{MinNPI: nil}}); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("all-empty summary = %+v, want zero value", s)
+	}
+}

@@ -97,8 +97,15 @@ type Controller struct {
 	// means "no queued hit". Row-aware policies use it to avoid
 	// precharging a row that still has useful hits queued. A flat array
 	// indexed by rank*banks+bank keeps the per-cycle refresh free of map
-	// traffic.
+	// traffic. It is maintained incrementally (bucketPush/bankChanged)
+	// and recomputed from scratch only on full-rescan passes.
 	bankHit []uint16
+	// rowAware marks policies that consult bankHit, gating its upkeep.
+	rowAware bool
+
+	// buckets index the queued entries by bank; see bucket.go for the
+	// incremental-maintenance and invalidation contract.
+	buckets []bucket
 
 	// nextTry is the next cycle a queue scan can possibly yield a
 	// command. After a scan finds nothing issuable, the blockers are pure
@@ -159,6 +166,8 @@ func New(cfg Config, d *dram.DRAM) *Controller {
 		dram:      d,
 		mapper:    d.Mapper(),
 		bankHit:   make([]uint16, geo.Ranks*geo.Banks),
+		rowAware:  cfg.Policy == FRFCFS || cfg.Policy == QoSRB,
+		buckets:   make([]bucket, geo.Ranks*geo.Banks),
 		nBanks:    geo.Banks,
 		nRanks:    geo.Ranks,
 		refreshOn: d.RefreshEnabled(),
@@ -204,7 +213,9 @@ func (c *Controller) Enqueue(t *txn.Transaction, now sim.Cycle) {
 	}
 	t.Enqueue = now
 	t.RowPath = neededNothing
-	c.queues[t.Class].push(entry{t: t, loc: loc})
+	e := entry{t: t, loc: loc}
+	c.queues[t.Class].push(e)
+	c.bucketPush(e)
 	c.stats.Enqueued++
 	if c.refreshOn {
 		c.rankPending[loc.Rank]++
@@ -267,12 +278,12 @@ func (c *Controller) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 
 // Tick issues at most one DRAM command for this channel.
 func (c *Controller) Tick(now sim.Cycle) {
-	if c.refreshOn && now >= c.refNextAction {
+	if c.refreshOn && (now >= c.refNextAction || forceScan) {
 		if c.tickRefresh(now) {
 			return // the refresh machine consumed this cycle's command slot
 		}
 	}
-	if now < c.nextTry {
+	if now < c.nextTry && !forceScan {
 		return
 	}
 	c.collectCandidates(now)
@@ -373,6 +384,7 @@ func (c *Controller) issueRefresh(r int, now sim.Cycle, forced bool) {
 	c.dram.Refresh(c.cfg.Channel, r, now)
 	c.dram.RefreshScanRank(c.cfg.Channel, r, &c.scan)
 	c.scan.RefBlocked[r] = false
+	c.dirtyRank(r)
 	c.stats.Refreshes++
 	if forced {
 		c.stats.ForcedRefreshes++
@@ -393,6 +405,7 @@ func (c *Controller) issueRefreshPre(r, b int, now sim.Cycle) {
 	loc := dram.Location{Channel: c.cfg.Channel, Rank: r, Bank: b}
 	c.dram.Precharge(loc, now)
 	c.dram.RefreshScanBank(c.cfg.Channel, loc, &c.scan)
+	c.bankChanged(c.bankKey(loc))
 	c.stats.RefreshPrecharges++
 	c.refNextAction = now + 1
 	if c.nextTry > now+1 {
@@ -452,21 +465,22 @@ func (c *Controller) nextRefreshAction(now sim.Cycle) sim.Cycle {
 // candidates (the "clear the backlog" rule of Section 3.3).
 //
 // When the scan comes up empty, the same pass has already gathered the
-// next cycle anything could change — the minimum over per-entry timing
-// gates and upcoming aging-threshold crossings — and parks the controller
-// there via nextTry. The bounds are exact: nothing outside this
-// controller mutates its channel's DRAM state, and Enqueue resets the
-// window.
+// next cycle anything could change — the minimum over per-bank cached
+// bounds (or per-entry timing gates on a full rescan) and upcoming
+// aging-threshold crossings — and parks the controller there via nextTry.
+// The bounds are sound lower bounds: nothing outside this controller
+// mutates its channel's DRAM state, and Enqueue resets the window.
+//
+// The common case walks the per-bank buckets (collectBuckets), probing
+// only banks whose readiness could have changed since the last event.
+// Aged cycles — and every cycle under SetForceScan — take the full
+// legacy rescan (collectFull), which re-derives everything from scratch.
 func (c *Controller) collectCandidates(now sim.Cycle) {
-	c.scratch = c.scratch[:0]
-	c.agedPass = false
-	c.refreshBankHits()
 	// Queues are FIFO and Enqueue stamps are monotone, so each class head
 	// is its queue's oldest entry: five compares decide whether any aging
 	// work exists at all.
-	agingOn := c.cfg.AgingT > 0
 	hasAged := false
-	if agingOn {
+	if c.cfg.AgingT > 0 {
 		for qi := range c.queues {
 			if es := c.queues[qi].entries; len(es) > 0 && now >= es[0].t.Enqueue+c.cfg.AgingT {
 				hasAged = true
@@ -474,6 +488,64 @@ func (c *Controller) collectCandidates(now sim.Cycle) {
 			}
 		}
 	}
+	if hasAged || forceScan {
+		c.collectFull(now, hasAged)
+		return
+	}
+	c.collectBuckets(now)
+}
+
+// collectBuckets is the incremental scan: clean buckets parked in the
+// future contribute their cached bound without any per-entry work; dirty
+// or due buckets are re-probed and their bound refreshed. It is only
+// valid while no queued transaction is over the aging limit (the caller
+// checks), because aging changes the candidate rule globally.
+func (c *Controller) collectBuckets(now sim.Cycle) {
+	c.scratch = c.scratch[:0]
+	c.agedPass = false
+	tryAt := neverTry
+	for k := range c.buckets {
+		b := &c.buckets[k]
+		if len(b.entries) == 0 {
+			continue
+		}
+		if !b.dirty && b.readyAt > now {
+			if b.readyAt < tryAt {
+				tryAt = b.readyAt
+			}
+			continue
+		}
+		b.dirty = false
+		at := neverTry
+		for i := range b.entries {
+			e := &b.entries[i]
+			ok, rowHit, eAt, eOK := c.probeScan(e, c.allowPrecharge(e), now)
+			if ok {
+				c.scratch = append(c.scratch, candidate{e: *e, rowHit: rowHit})
+			}
+			if eOK && eAt < at {
+				at = eAt
+			}
+		}
+		b.readyAt = at
+		if at < tryAt {
+			tryAt = at
+		}
+	}
+	if len(c.scratch) == 0 {
+		c.parkEmptyScan(now, tryAt)
+	}
+}
+
+// collectFull is the legacy full rescan: every queued entry of every
+// class is probed and the row-hit table recomputed. It serves the aged
+// pass (where candidacy is a function of age, not banks) and the forced
+// per-cycle reference mode. Bucket caches are left untouched — they stay
+// sound lower bounds because issued commands dirty their banks.
+func (c *Controller) collectFull(now sim.Cycle, hasAged bool) {
+	c.scratch = c.scratch[:0]
+	c.agedPass = false
+	c.refreshBankHits()
 	if hasAged {
 		for qi := range c.queues {
 			entries := c.queues[qi].entries
@@ -513,30 +585,38 @@ func (c *Controller) collectCandidates(now sim.Cycle) {
 		}
 	}
 	if len(c.scratch) == 0 {
-		if agingOn {
-			// The next aging-threshold crossing changes both the
-			// candidate set and the open-page bypass. Entries are sorted
-			// by Enqueue, so the first not-yet-aged entry of each class
-			// carries the class minimum.
-			for qi := range c.queues {
-				entries := c.queues[qi].entries
-				for i := range entries {
-					if deadline := entries[i].t.Enqueue + c.cfg.AgingT; deadline > now {
-						if deadline < tryAt {
-							tryAt = deadline
-						}
-						break
+		c.parkEmptyScan(now, tryAt)
+	}
+}
+
+// parkEmptyScan finalizes a scan that produced no candidates: the next
+// aging-threshold crossing changes both the candidate set and the
+// open-page bypass, so it bounds the dormancy window alongside tryAt,
+// the timing-gate minimum the scan gathered. Entries are sorted by
+// Enqueue, so the first not-yet-aged entry of each class carries the
+// class minimum — the head itself whenever nothing is aged (the bucket
+// scan's case). Both scan flavors park through this one tail so their
+// dormancy windows cannot drift apart.
+func (c *Controller) parkEmptyScan(now, tryAt sim.Cycle) {
+	if c.cfg.AgingT > 0 {
+		for qi := range c.queues {
+			entries := c.queues[qi].entries
+			for i := range entries {
+				if deadline := entries[i].t.Enqueue + c.cfg.AgingT; deadline > now {
+					if deadline < tryAt {
+						tryAt = deadline
 					}
+					break
 				}
 			}
 		}
-		if tryAt <= now {
-			// Defensive: the scan just failed at now, so nothing can
-			// issue before the next cycle.
-			tryAt = now + 1
-		}
-		c.nextTry = tryAt
 	}
+	if tryAt <= now {
+		// Defensive: the scan just failed at now, so nothing can
+		// issue before the next cycle.
+		tryAt = now + 1
+	}
+	c.nextTry = tryAt
 }
 
 // probeScan evaluates entry e against the current scan snapshot: whether
@@ -584,7 +664,7 @@ func (c *Controller) probeScan(e *entry, allowPre bool, now sim.Cycle) (ok, rowH
 // refreshBankHits recomputes the per-bank best queued row-hit priority.
 // Only the row-aware policies consult it, so other policies skip the scan.
 func (c *Controller) refreshBankHits() {
-	if c.cfg.Policy != FRFCFS && c.cfg.Policy != QoSRB {
+	if !c.rowAware {
 		return
 	}
 	for k := range c.bankHit {
@@ -595,11 +675,7 @@ func (c *Controller) refreshBankHits() {
 		for i := range entries {
 			e := &entries[i]
 			key := c.bankKey(e.loc)
-			b := &c.scan.Banks[key]
-			if !b.Open || b.Row != e.loc.Row {
-				continue
-			}
-			if p := uint16(e.t.Priority) + 1; p > c.bankHit[key] {
+			if p := entryHit(&c.scan.Banks[key], e); p > c.bankHit[key] {
 				c.bankHit[key] = p
 			}
 		}
@@ -616,20 +692,18 @@ func (c *Controller) bankKey(loc dram.Location) int {
 // or above delta) precharge past lower-priority hits, mirroring Policy 2's
 // arbitration rule.
 func (c *Controller) allowPrecharge(e *entry) bool {
-	switch c.cfg.Policy {
-	case FRFCFS, QoSRB:
-		hit := c.bankHit[c.bankKey(e.loc)]
-		if hit == 0 {
-			return true
-		}
-		if c.cfg.Policy == FRFCFS {
-			return false
-		}
-		hitPrio := txn.Priority(hit - 1)
-		return e.t.Priority >= c.cfg.Delta && e.t.Priority > hitPrio
-	default:
+	if !c.rowAware {
+		return true // rowAware is the single gate for bankHit upkeep and use
+	}
+	hit := c.bankHit[c.bankKey(e.loc)]
+	if hit == 0 {
 		return true
 	}
+	if c.cfg.Policy == FRFCFS {
+		return false
+	}
+	hitPrio := txn.Priority(hit - 1)
+	return e.t.Priority >= c.cfg.Delta && e.t.Priority > hitPrio
 }
 
 // debugTrace, when set, observes every issued command (tests only).
@@ -667,6 +741,7 @@ func (c *Controller) issue(best candidate, now sim.Cycle) {
 		}
 	}
 	c.dram.RefreshScanBank(c.cfg.Channel, e.loc, &c.scan)
+	c.bankChanged(c.bankKey(e.loc))
 }
 
 func (c *Controller) issueCAS(e entry, now sim.Cycle) {
@@ -682,6 +757,7 @@ func (c *Controller) issueCAS(e entry, now sim.Cycle) {
 	q := &c.queues[e.t.Class]
 	wasFull := q.full()
 	q.remove(e.t.ID)
+	c.bucketRemove(c.bankKey(e.loc), e.t.ID)
 	if wasFull && c.OnRelease != nil {
 		c.OnRelease(e.t.Class, now)
 	}

@@ -157,7 +157,22 @@ type Kernel struct {
 	// on busy stretches, where the same component stays active for many
 	// consecutive cycles.
 	hot int
+	// busyStreak counts consecutive fast-forward probes that found
+	// immediate activity, and busyLatch is the number of upcoming cycles
+	// to execute without probing at all. Under sustained load (the
+	// saturated loaded phase) every probe answers "busy now", so the
+	// kernel latches busy and amortizes the query cost over the streak.
+	// Skipping a probe is observationally identical to probing — the
+	// cycle executes either way; only a skip opportunity is deferred, by
+	// at most busyLatchMax cycles after the load ends.
+	busyStreak uint8
+	busyLatch  uint8
 }
+
+// busyLatchMax bounds the busy latch: at most this many executed cycles
+// between fast-forward probes, so an idle transition is never detected
+// more than busyLatchMax cycles late.
+const busyLatchMax = 8
 
 // Now reports the current cycle.
 func (k *Kernel) Now() Cycle { return k.now }
@@ -318,15 +333,42 @@ func (k *Kernel) nextWake(horizon Cycle, updateHot bool) Cycle {
 // last tick settles anything accrued over a trailing quiescent stretch.
 // It returns without moving the clock if anything is due now.
 func (k *Kernel) fastForward(horizon Cycle) {
+	if k.busyLatch > 0 {
+		// Provably-safe probe skip: recent back-to-back activity latched
+		// busy, so execute this cycle without querying anyone.
+		k.busyLatch--
+		return
+	}
+	if len(k.events) > 0 && k.events[0].at <= k.now {
+		// An event is due this cycle: provably busy, no idler query needed.
+		k.noteBusy()
+		return
+	}
 	if h := k.hot; h < len(k.idlers) {
 		if next, ok := k.idlers[h].NextActivity(k.now); ok && next <= k.now {
+			k.noteBusy()
 			return
 		}
 	}
 	target := k.nextWake(horizon-1, true)
 	if target > k.now {
+		k.busyStreak = 0
 		k.skipped += uint64(target - k.now)
 		k.now = target
+		return
+	}
+	k.noteBusy()
+}
+
+// noteBusy records a probe that found immediate activity and arms the
+// busy latch once the streak shows sustained load: after n consecutive
+// busy probes the next n-1 (capped) cycles execute probe-free.
+func (k *Kernel) noteBusy() {
+	if k.busyStreak <= busyLatchMax {
+		k.busyStreak++
+	}
+	if k.busyStreak > 1 {
+		k.busyLatch = k.busyStreak - 1
 	}
 }
 

@@ -398,6 +398,61 @@ func TestKernelReArmedWakeHonored(t *testing.T) {
 	}
 }
 
+// busyBurst is busy every cycle in [0, busyUntil), then has one final
+// wake at lateWake.
+type busyBurst struct {
+	busyUntil Cycle
+	lateWake  Cycle
+	acted     []Cycle
+}
+
+func (b *busyBurst) Tick(now Cycle) {
+	if now < b.busyUntil || now == b.lateWake {
+		b.acted = append(b.acted, now)
+	}
+}
+
+func (b *busyBurst) NextActivity(now Cycle) (Cycle, bool) {
+	if now < b.busyUntil {
+		return now, true
+	}
+	if now <= b.lateWake {
+		return b.lateWake, true
+	}
+	return 0, false
+}
+
+// TestKernelBusyLatch pins the busy-streak latch: a sustained busy burst
+// must execute every cycle (identically to the stepped reference), the
+// probe-free latched cycles included, and once the burst ends the kernel
+// must still discover the idle stretch and skip it — at most busyLatchMax
+// cycles late.
+func TestKernelBusyLatch(t *testing.T) {
+	run := func(skip bool) (acted []Cycle, skipped uint64) {
+		var k Kernel
+		b := &busyBurst{busyUntil: 100, lateWake: 5000}
+		k.Register(b)
+		k.SetIdleSkip(skip)
+		k.Run(6000)
+		return b.acted, k.SkippedCycles()
+	}
+	ref, _ := run(false)
+	fast, skipped := run(true)
+	if len(ref) != len(fast) {
+		t.Fatalf("acted %d cycles skipping, %d stepped", len(fast), len(ref))
+	}
+	for i := range ref {
+		if ref[i] != fast[i] {
+			t.Fatalf("action %d at cycle %d skipping, %d stepped", i, fast[i], ref[i])
+		}
+	}
+	// The idle stretch (100..5000) must still be skipped, minus at most
+	// busyLatchMax latched cycles at its head.
+	if skipped < 4900-2*busyLatchMax {
+		t.Fatalf("skipped only %d cycles; the latch must not defeat idle skipping", skipped)
+	}
+}
+
 func TestEventHeapManyEvents(t *testing.T) {
 	var k Kernel
 	r := NewRand(9)

@@ -107,6 +107,21 @@ func Camcorder(tc Case, opts ...Option) Config { return config.Camcorder(tc, opt
 // Saturated returns the bandwidth-bound Fig. 8 variant of case A.
 func Saturated(opts ...Option) Config { return config.Saturated(opts...) }
 
+// ScaleSoC grows a configuration to factor× channels and DMA-roster
+// copies (factor must be a power of two); see config.ScaleSoC.
+func ScaleSoC(cfg Config, factor int) Config { return config.ScaleSoC(cfg, factor) }
+
+// ScaledCamcorder returns the camcorder use case at factor× scale.
+func ScaledCamcorder(tc Case, factor int, opts ...Option) Config {
+	return config.ScaledCamcorder(tc, factor, opts...)
+}
+
+// ScaledSaturated returns the saturated Fig. 8 workload at factor× scale
+// — the loaded-phase scaling benchmark.
+func ScaledSaturated(factor int, opts ...Option) Config {
+	return config.ScaledSaturated(factor, opts...)
+}
+
 // Configuration options, re-exported from internal/config.
 var (
 	// WithPolicy selects the arbitration policy.

@@ -55,6 +55,10 @@ type traces struct {
 
 func runTraced(policy sara.Policy, skip, refresh bool, cycles sim.Cycle) traces {
 	var tr traces
+	// The stepped reference bypasses the controller's dormancy window and
+	// bucket caches entirely, so a stale cached bound diverges the trace.
+	memctrl.SetForceScan(!skip)
+	defer memctrl.SetForceScan(false)
 	memctrl.SetDebugTrace(func(ch int, now sim.Cycle, id uint64, kind byte) {
 		tr.cmds = append(tr.cmds, tracedCmd{ch, now, id, kind})
 	})
