@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// document so CI can archive the performance trajectory machine-readably
+// across PRs (BENCH_loaded.json: loaded-phase and case-A ns/cycle,
+// allocs/op, and the 1x/2x/4x scaled-SoC points).
+//
+//	go test -run=NONE -bench=... -benchmem . | benchjson -o BENCH_loaded.json
+//	benchjson -o BENCH_loaded.json bench.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds the b.ReportMetric pairs (cycles/op, %skipped,
+	// channels, worst-min-NPI, GB/s, ...), keyed by unit.
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	// NsPerCycle is derived from ns/op and the cycles/op metric, the
+	// number the README perf tables track.
+	NsPerCycle *float64 `json:"ns_per_cycle,omitempty"`
+	// NsPerCyclePerChannel divides further by the channels metric on the
+	// scaled-SoC benchmarks, the flatness curve the scaling work tracks.
+	NsPerCyclePerChannel *float64 `json:"ns_per_cycle_per_channel,omitempty"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	// Context carries the go test header lines (goos, goarch, pkg, cpu).
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Bench           `json:"benchmarks"`
+}
+
+// parse consumes go test -bench output.
+func parse(r io.Reader) (Report, error) {
+	rep := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseBenchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+			continue
+		}
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			prefix := key + ": "
+			if len(line) > len(prefix) && line[:len(prefix)] == prefix {
+				rep.Context[key] = line[len(prefix):]
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkName  N  v unit  v unit ..." line.
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields[0]) < len("Benchmark") || fields[0][:len("Benchmark")] != "Benchmark" {
+		return Bench{}, false
+	}
+	b := Bench{Name: fields[0], Metrics: map[string]float64{}}
+	if _, err := fmt.Sscan(fields[1], &b.Iterations); err != nil {
+		return Bench{}, false
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscan(fields[i], &v); err != nil {
+			return Bench{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			val := v
+			b.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			b.AllocsPerOp = &val
+		default:
+			b.Metrics[unit] = v
+		}
+	}
+	if cycles, ok := b.Metrics["cycles/op"]; ok && cycles > 0 && b.NsPerOp > 0 {
+		nsc := b.NsPerOp / cycles
+		b.NsPerCycle = &nsc
+		if ch, ok := b.Metrics["channels"]; ok && ch > 0 {
+			per := nsc / ch
+			b.NsPerCyclePerChannel = &per
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines in input")
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sara
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatorThroughput            	    2000	    258009 ns/op	        48.20 %skipped	      1000 cycles/op	     503 B/op	       0 allocs/op
+BenchmarkLoadedPhaseThroughputScaled/4x 	    2000	   2201684 ns/op	         8.000 channels	      1000 cycles/op	    1694 B/op	       0 allocs/op
+PASS
+ok  	sara	33.601s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	if rep.Context["cpu"] != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu context %q", rep.Context["cpu"])
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSimulatorThroughput" || b.Iterations != 2000 || b.NsPerOp != 258009 {
+		t.Fatalf("first benchmark %+v", b)
+	}
+	if b.NsPerCycle == nil || *b.NsPerCycle != 258.009 {
+		t.Fatalf("ns/cycle %v, want 258.009", b.NsPerCycle)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Fatalf("allocs/op %v, want 0", b.AllocsPerOp)
+	}
+	if b.Metrics["%skipped"] != 48.20 {
+		t.Fatalf("%%skipped metric %v", b.Metrics["%skipped"])
+	}
+	s := rep.Benchmarks[1]
+	if s.NsPerCyclePerChannel == nil || *s.NsPerCyclePerChannel != 2201.684/8 {
+		t.Fatalf("per-channel cost %v", s.NsPerCyclePerChannel)
+	}
+
+	// The document round-trips with the conventional keys present.
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"ns_per_op"`, `"ns_per_cycle"`, `"allocs_per_op"`, `"ns_per_cycle_per_channel"`} {
+		if !strings.Contains(string(enc), key) {
+			t.Fatalf("encoded report lacks %s:\n%s", key, enc)
+		}
+	}
+}
+
+func TestParseRejectsGarbageQuietly(t *testing.T) {
+	rep, err := parse(strings.NewReader("hello\nBenchmarkBad x y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage", len(rep.Benchmarks))
+	}
+}

@@ -116,14 +116,21 @@ type diffResult struct {
 	skipped uint64
 }
 
-// captureRun executes cfg for the given horizon in one of the two
-// differential modes: the cycle-stepped force-scan reference (skip=false)
-// or the event-driven idle-skipping run (skip=true).
-func captureRun(cfg sara.Config, skip bool, horizon sara.Cycle) diffResult {
+// captureRun executes cfg for the given horizon in one of the three
+// differential modes: the cycle-stepped force-scan reference (skip=false,
+// with every dormancy cache — router grant windows, controller buckets,
+// DMA injection wakes — bypassed), the event-driven idle-skipping run
+// (skip=true), or the idle-skipping run with the kernel's wake heap
+// replaced by the sim.SetForcePoll linear sweep (skip and poll true).
+func captureRun(cfg sara.Config, skip, poll bool, horizon sara.Cycle) diffResult {
 	var res diffResult
 	noc.SetForceScan(!skip)
 	memctrl.SetForceScan(!skip)
+	dma.SetForceScan(!skip)
+	sim.SetForcePoll(skip && poll)
 	defer memctrl.SetForceScan(false)
+	defer dma.SetForceScan(false)
+	defer sim.SetForcePoll(false)
 	noc.SetDebugGrant(func(name string, now sim.Cycle, port, out int, id uint64) {
 		res.grants = append(res.grants, tracedGrant{name, now, port, out, id})
 	})
@@ -214,8 +221,13 @@ func compareDiff(t *testing.T, seed uint64, ref, fast diffResult) {
 // TestRandomizedSkipVsStepDifferential fuzzes the skip-vs-step boundary
 // across 50 randomized configurations. Every config must produce an
 // identical NoC grant trace, credit trace and aggregate statistics in
-// both modes; across the pool, the event-driven runs must actually have
-// skipped cycles and granted packets (the harness must not pass vacuously).
+// all three modes — the cycle-stepped force-scan reference, the wake-heap
+// idle-skipping run, and the SetForcePoll linear-sweep skipping run; the
+// heap run may additionally skip at most as many cycles as the poll run
+// (a trusted stale-early cached bound can cost an extra uneventful
+// executed cycle, never a missed wake). Across the pool, the
+// event-driven runs must actually have skipped cycles and granted
+// packets (the harness must not pass vacuously).
 func TestRandomizedSkipVsStepDifferential(t *testing.T) {
 	const (
 		baseSeed = uint64(0x5a7a_2026_07_29)
@@ -230,12 +242,22 @@ func TestRandomizedSkipVsStepDifferential(t *testing.T) {
 		seed := sim.NewRand(baseSeed).Fork(uint64(i)).Uint64()
 		cfg, desc := fuzzConfig(seed)
 		t.Run(fmt.Sprintf("cfg%02d_%s", i, desc), func(t *testing.T) {
-			ref := captureRun(cfg, false, horizon)
-			fast := captureRun(cfg, true, horizon)
+			ref := captureRun(cfg, false, false, horizon)
+			fast := captureRun(cfg, true, false, horizon)
+			polled := captureRun(cfg, true, true, horizon)
 			if ref.skipped != 0 {
 				t.Fatalf("config seed %#x: force-scan reference skipped %d cycles", seed, ref.skipped)
 			}
 			compareDiff(t, seed, ref, fast)
+			compareDiff(t, seed, ref, polled)
+			if fast.skipped > polled.skipped {
+				// The heap may execute extra uneventful cycles on
+				// stale-early cached bounds (trusted future keys), so it
+				// can only skip at most what the exact swept minimum
+				// skips; skipping MORE would mean a missed wake.
+				t.Fatalf("config seed %#x: wake heap skipped %d cycles, poll reference only %d",
+					seed, fast.skipped, polled.skipped)
+			}
 			totalGrants += uint64(len(fast.grants))
 			totalSkipped += fast.skipped
 			if cfg.DRAM.Refresh.Enabled {

@@ -197,11 +197,23 @@ func Build(cfg Config) *System {
 	// controllers issue DRAM commands. Every component is registered
 	// directly (not through TickFunc) so it carries its sim.Idler hint
 	// and the kernel can fast-forward over system-wide quiescence.
-	for _, u := range s.units {
-		s.kernel.Register(u.Source)
+	// Registration also binds the push-based wake wiring: engines,
+	// routers and controllers receive their kernel wake handles through
+	// sim.WakeBinder, and each engine additionally gets its source's
+	// handle — the engine is the component that observes the two events
+	// that can move a source's next activity earlier (a pending-queue pop
+	// from full, a completion delivery), so it owns those re-arms.
+	srcWakes := make([]sim.WakeHandle, len(s.units))
+	for i, u := range s.units {
+		srcWakes[i] = s.kernel.Register(u.Source)
 	}
-	for _, u := range s.units {
+	for i, u := range s.units {
 		s.kernel.Register(u.Engine)
+		// Only the occupancy-tracking sources consult completion-mutated
+		// state (buffer in-flight bytes) in their activity hints; the
+		// rest need no per-delivery re-arm.
+		kind := u.Spec.Source.Kind
+		u.Engine.BindSourceWake(srcWakes[i], kind == SrcDisplay || kind == SrcCamera)
 	}
 	if s.mediaRouter != nil {
 		s.kernel.Register(s.mediaRouter)

@@ -4,6 +4,16 @@
 // outstanding-transaction window, stamps every transaction with the
 // priority its adapter most recently chose (Section 3.2), and routes
 // completion notifications back to the source and the performance meter.
+//
+// Injection is event-driven: the engine caches its next-injection cycle
+// (wakeAt) instead of inspecting its queue, window and port every cycle.
+// The three events that can make an injection possible earlier each
+// re-arm the cache and the kernel's wake heap: a source enqueue
+// (Enqueue), a completion freeing a window slot (Deliver), and a credit
+// return from the NoC port it injects into (Wake, wired through
+// noc.Port.OnCredit). Ticks strictly before wakeAt only settle the
+// batched stall accounting in O(1). SetForceScan restores the per-cycle
+// queue inspection as the stepped reference for the differential suites.
 package dma
 
 import (
@@ -20,6 +30,34 @@ var debugInject func(now sim.Cycle, source int, id uint64, addr uint64)
 // SetDebugInject installs the injection trace hook (equivalence tests
 // only; not for concurrent use).
 func SetDebugInject(fn func(now sim.Cycle, source int, id uint64, addr uint64)) { debugInject = fn }
+
+// debugWake, when set, observes every injection-wake re-arm: which engine
+// re-armed its cached next-injection cycle to at, and why — 'D' for a
+// completion delivery, 'C' for a port credit return (tests only; the
+// enqueue edge needs no re-arm and so has no wake to trace — the Tick
+// gate reads the live queue).
+var debugWake func(source int, at sim.Cycle, cause byte)
+
+// SetDebugWake installs the injection-wake trace hook (equivalence tests
+// only; not for concurrent use). The re-arm stream is a function of the
+// simulated behavior alone, so it must be bit-identical between the
+// idle-skipping run and the stepped force-scan reference — a stale or
+// missing wake diverges this trace instead of silently stalling a core.
+func SetDebugWake(fn func(source int, at sim.Cycle, cause byte)) { debugWake = fn }
+
+// forceScan, when set, disables the wakeAt dormancy short-circuit so Tick
+// re-inspects the queue, window and port every cycle — the per-cycle
+// reference the differential tests compare the event-driven engine
+// against (tests only; use with idle skipping disabled, like
+// noc.SetForceScan).
+var forceScan bool
+
+// SetForceScan forces the per-cycle reference inspection (tests only).
+func SetForceScan(on bool) { forceScan = on }
+
+// never marks an unarmed injection wake: nothing can be injected until an
+// external event (enqueue, completion, credit) re-arms the engine.
+const never = ^sim.Cycle(0)
 
 // CompletionFunc observes a finished transaction.
 type CompletionFunc func(t *txn.Transaction, now sim.Cycle)
@@ -79,21 +117,43 @@ type Engine struct {
 	outstanding int
 	nextID      *uint64
 
+	// wakeAt is the cached next-injection cycle: Tick runs the injection
+	// loop only at or after it, and parks it at never on exit (every way
+	// the loop can stop — queue empty, window full, port full — is
+	// un-stuck only by a re-arming event). It sits with the other
+	// tick-gate fields so the dormant fast path touches one cache line.
+	wakeAt sim.Cycle
+
 	// lastTick and stalled batch the InjectStalls accounting across
-	// kernel-skipped cycles: a stalled engine's blockers (full window,
-	// full port) cannot change while the whole system is quiescent, so
-	// the skipped cycles were all stalled too and are counted in one
-	// step on the next executed cycle.
+	// cycles the injection loop did not run (kernel-skipped or dormant):
+	// a stalled engine's blockers (full window, full port) cannot change
+	// without one of the re-arming events, each of which forces the loop
+	// to run on its cycle, so every loop-free cycle in between stalled as
+	// well and is counted in one step.
 	lastTick sim.Cycle
 	stalled  bool
 
 	onComplete []CompletionFunc
 	stats      Stats
+
+	// kern and srcWake push re-arms into the kernel wake heap, for this
+	// engine and for the traffic source feeding it: a source blocked on
+	// a full pending queue, or waiting on completions (display/camera
+	// in-flight accounting), would otherwise never be re-validated under
+	// push-based wake scheduling. srcWakeOnDeliver marks sources whose
+	// activity hint reads completion-mutated state: only those need a
+	// source re-arm per delivery; other sources' hints cannot move
+	// earlier on a completion, and skipping the re-arm keeps the
+	// per-completion path off the wake heap.
+	kern             sim.WakeHandle
+	srcWake          sim.WakeHandle
+	srcWakeOnDeliver bool
 }
 
 // New builds a DMA engine. id must be unique per system; nextID is the
 // system-wide transaction ID counter; port is the engine's NoC input port
-// and hop its injection link latency.
+// and hop its injection link latency. The engine registers itself as the
+// port's credit sink: a pop of the full port re-arms the injection wake.
 func New(cfg Config, id int, nextID *uint64, port *noc.Port, hop sim.Cycle) *Engine {
 	if cfg.Window <= 0 {
 		panic(fmt.Sprintf("dma %s: window must be positive", cfg.Name))
@@ -101,7 +161,9 @@ func New(cfg Config, id int, nextID *uint64, port *noc.Port, hop sim.Cycle) *Eng
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 2 * cfg.Window
 	}
-	return &Engine{cfg: cfg, id: id, nextID: nextID, port: port, hop: hop}
+	e := &Engine{cfg: cfg, id: id, nextID: nextID, port: port, hop: hop}
+	port.OnCreditArmed(e)
+	return e
 }
 
 // Name returns the DMA label.
@@ -135,9 +197,67 @@ func (e *Engine) OnComplete(fn CompletionFunc) {
 	e.onComplete = append(e.onComplete, fn)
 }
 
+// BindWake implements sim.WakeBinder: the kernel hands the engine its
+// wake handle at registration.
+func (e *Engine) BindWake(h sim.WakeHandle) { e.kern = h }
+
+// BindSourceWake installs the wake handle of the traffic source feeding
+// this engine (the SoC assembly wires it). The engine re-arms it when the
+// pending queue pops from full and — when onDeliver is set, for sources
+// whose activity hint reads completion-mutated state — on every
+// completion delivery; those are the two events that can move a source's
+// next activity earlier.
+func (e *Engine) BindSourceWake(h sim.WakeHandle, onDeliver bool) {
+	e.srcWake = h
+	e.srcWakeOnDeliver = onDeliver
+}
+
+// rearm records an injection-wake re-arm: the cached cycle, the wake
+// trace, and — only when kernel is set — the engine's kernel wake-heap
+// entry. Enqueues and deliveries happen in the same executed cycle as
+// the engine's own Tick (sources tick before engines, completions fire
+// before all tickers), so their re-arms are fully consumed by that
+// cycle's Tick and never need to reach the kernel, which only ever
+// probes between executed cycles; a port credit return lands after the
+// engine's tick and re-arms the NEXT cycle, so it must be pushed.
+func (e *Engine) rearm(at sim.Cycle, cause byte, kernel bool) {
+	if debugWake != nil {
+		debugWake(e.id, at, cause)
+	}
+	if at >= e.wakeAt {
+		// Already armed at or before at. For credit wakes this also
+		// means the kernel already knows: after a body run wakeAt is
+		// never, and the only way it is armed between body runs is a
+		// prior kernel-pushed credit wake.
+		return
+	}
+	e.wakeAt = at
+	if kernel {
+		e.kern.Rearm(at)
+	}
+}
+
+// Wake implements noc.Waker: the credit return of the engine's injection
+// port (a pop freeing a slot in the full FIFO, usable from the next cycle
+// because the router ticks after the engine). Credits that cannot lead to
+// an injection — nothing pending, or the window exhausted — are dropped:
+// the enqueue or delivery that clears the other blocker re-arms then.
+func (e *Engine) Wake(at sim.Cycle) {
+	if len(e.pending) == 0 || e.outstanding >= e.cfg.Window {
+		return
+	}
+	e.rearm(at, 'C', true)
+}
+
 // Enqueue adds a request to the pending queue. It reports false when the
-// queue is full, letting rate-based sources retry next cycle without
-// losing the tokens.
+// queue is full, letting rate-based sources retry without losing the
+// tokens. Enqueue needs no wake re-arm: the source enqueues during its
+// own Tick, the engine ticks after it in the same executed cycle, and
+// the engine's Tick gate reads the live queue state — so the request is
+// injected (or the stall latched) that cycle regardless of the cached
+// injection wake. Keeping the re-arm out also keeps Enqueue small enough
+// to inline into the sources' generation loops, the hottest call in the
+// simulator.
 func (e *Engine) Enqueue(kind txn.Kind, addr txn.Addr, size uint32) bool {
 	if len(e.pending) >= e.cfg.MaxPending {
 		return false
@@ -156,33 +276,61 @@ func (e *Engine) Pending() int { return len(e.pending) }
 // Outstanding reports the injected-but-incomplete transaction count.
 func (e *Engine) Outstanding() int { return e.outstanding }
 
-// NextActivity implements sim.Idler: the engine acts when it can actually
-// inject — requests pending, window open, port space available. A blocked
-// engine only accrues stall cycles, which Tick back-fills exactly over any
-// skipped stretch, and unblocking requires external activity (a completion
-// event, a router pop) that executes a cycle anyway.
+// NextActivity implements sim.Idler as an O(1) read of the cached
+// injection wake. The cache is a sound lower bound by construction: the
+// injection loop parks it at never only when blocked on events that each
+// re-arm it (see wakeAt), so a dormant engine never needs to be polled.
 func (e *Engine) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
-	if len(e.pending) > 0 && e.outstanding < e.cfg.Window && e.port.CanAccept() {
+	if e.wakeAt == never {
+		return 0, false
+	}
+	if e.wakeAt <= now {
 		return now, true
 	}
-	return 0, false
+	return e.wakeAt, true
 }
 
 // Tick injects pending requests into the NoC port while the outstanding
-// window and port space allow.
+// window and port space allow. Strictly before the cached injection wake
+// it only settles stall accounting in O(1): the blockers provably cannot
+// have changed, because every event that clears one re-arms the wake onto
+// its own cycle.
 func (e *Engine) Tick(now sim.Cycle) {
+	if (len(e.pending) == 0 || e.stalled) && now < e.wakeAt && !forceScan {
+		// Idle, or dormant while blocked. The live pending check is the
+		// enqueue edge: fresh requests on an un-stalled engine can only
+		// appear on this very cycle (the source ticked just before), so
+		// they route to the injection loop without any re-arm; once the
+		// loop has latched a blocker, only the re-arming edges clear it.
+		if e.stalled {
+			// This cycle stalls too, plus any kernel-skipped stretch
+			// since the last settled tick.
+			if now > e.lastTick+1 {
+				e.stats.InjectStalls += uint64(now - e.lastTick - 1)
+			}
+			e.stats.InjectStalls++
+			e.lastTick = now
+		}
+		return
+	}
+	e.wakeAt = never
 	if len(e.pending) == 0 && !e.stalled {
 		return // nothing to inject, no stall accounting to carry
 	}
 	if e.stalled && now > e.lastTick+1 {
 		// Skipped cycles between the last stalled tick and now: nothing
-		// in the system moved, so each of them stalled as well.
+		// that could unblock the engine moved, so each of them stalled
+		// as well.
 		e.stats.InjectStalls += uint64(now - e.lastTick - 1)
 	}
 	e.lastTick = now
+	wasPendingFull := len(e.pending) == e.cfg.MaxPending
 	stalled := false
 	for len(e.pending) > 0 && e.outstanding < e.cfg.Window {
 		if !e.port.CanAccept() {
+			// Parking port-blocked: arm the lazy credit so the next
+			// full-FIFO pop re-arms the injection wake.
+			e.port.ArmCredit()
 			stalled = true
 			break
 		}
@@ -224,9 +372,19 @@ func (e *Engine) Tick(now sim.Cycle) {
 		e.stats.InjectStalls++
 	}
 	e.stalled = stalled
+	if wasPendingFull && len(e.pending) < e.cfg.MaxPending {
+		// The pending queue popped from full: the source, which ticked
+		// before this engine saw the queue full, can generate again from
+		// the next cycle on.
+		e.srcWake.Rearm(now + 1)
+	}
 }
 
 // Deliver hands a completed transaction back to the DMA at cycle now.
+// The freed window slot re-arms the injection wake (the delivery event
+// fires before this cycle's ticks, so the engine can inject this cycle),
+// and the source wake is re-armed alongside: completions change the
+// in-flight accounting some sources' activity hints depend on.
 func (e *Engine) Deliver(t *txn.Transaction, now sim.Cycle) {
 	if t.Source != e.id {
 		panic(fmt.Sprintf("dma %s: delivery of foreign txn %d", e.cfg.Name, t.ID))
@@ -241,6 +399,12 @@ func (e *Engine) Deliver(t *txn.Transaction, now sim.Cycle) {
 	e.stats.TotalLatency += uint64(t.Latency())
 	for _, fn := range e.onComplete {
 		fn(t, now)
+	}
+	if len(e.pending) > 0 {
+		e.rearm(now, 'D', false)
+	}
+	if e.srcWakeOnDeliver {
+		e.srcWake.Rearm(now)
 	}
 	// The transaction has fully left the system: observers consume it
 	// synchronously and nothing downstream retains it.

@@ -150,3 +150,104 @@ func TestCompletionCallbacksFire(t *testing.T) {
 		t.Fatalf("completion callbacks fired %d times, want 2", calls)
 	}
 }
+
+// TestNextActivityIsCachedWake pins the event-driven injection contract:
+// the hint is an O(1) read of the cached wake, parked at never whenever
+// the injection loop stopped (queue empty, window full, port full) and
+// re-armed by deliveries and port credits. Fresh enqueues re-arm
+// nothing — the Tick gate reads the live queue, and the enqueue cycle
+// always executes because the enqueuing source was active in it.
+func TestNextActivityIsCachedWake(t *testing.T) {
+	r := newRig(1) // window 1, MaxPending 2
+	if _, ok := r.engine.NextActivity(0); !ok {
+		t.Fatal("a fresh engine must report activity (initial wake is cycle 0)")
+	}
+	r.engine.Tick(0) // empty queue: parks at never
+	if _, ok := r.engine.NextActivity(1); ok {
+		t.Fatal("an idle engine must park its wake at never")
+	}
+	r.engine.Enqueue(txn.Read, 0, 128)
+	r.engine.Tick(3) // the live-queue gate routes the fresh request to the loop
+	if got := r.engine.Outstanding(); got != 1 {
+		t.Fatalf("enqueue-cycle tick injected %d, want 1 (live-queue gate)", got)
+	}
+	r.engine.Enqueue(txn.Read, 128, 128) // queued behind the window
+	r.engine.Tick(4)                     // window full: stalls, parks at never
+	if _, ok := r.engine.NextActivity(5); ok {
+		t.Fatal("a window-blocked engine must park until a delivery")
+	}
+	r.drain(t, 1)
+	r.engine.Deliver(r.out[0], 7) // delivery re-arms onto its cycle
+	if at, ok := r.engine.NextActivity(7); !ok || at != 7 {
+		t.Fatalf("after delivery NextActivity = (%d, %v), want (7, true)", at, ok)
+	}
+}
+
+// TestInjectionWakeDifferential scripts a scenario that exercises all
+// three injection blockers — port full, window full, queue empty — and
+// their re-arming events, and requires the event-driven engine to match
+// the SetForceScan per-cycle reference injection-for-injection and
+// stall-for-stall.
+func TestInjectionWakeDifferential(t *testing.T) {
+	type inj struct {
+		now sim.Cycle
+		id  uint64
+	}
+	run := func(force bool) (Stats, []inj) {
+		SetForceScan(force)
+		defer SetForceScan(false)
+		var injs []inj
+		SetDebugInject(func(now sim.Cycle, _ int, id uint64, _ uint64) {
+			injs = append(injs, inj{now, id})
+		})
+		defer SetDebugInject(nil)
+
+		var id uint64
+		var out []*txn.Transaction
+		sink := sinkFunc(func(tr *txn.Transaction) { out = append(out, tr) })
+		// Port depth 2 so the port-full blocker engages quickly.
+		router := noc.NewRouter("t", noc.Params{PortDepth: 2, Arb: noc.ArbFCFS}, 1, []noc.Sink{sink}, nil)
+		engine := New(Config{Name: "t", Core: "T", Class: txn.ClassMedia, Window: 3, MaxPending: 8},
+			0, &id, router.Port(0), 0)
+
+		delivered := 0
+		for now := sim.Cycle(0); now < 40; now++ {
+			switch now {
+			case 0:
+				for i := 0; i < 5; i++ {
+					engine.Enqueue(txn.Read, txn.Addr(i*128), 128)
+				}
+			case 20:
+				engine.Enqueue(txn.Write, 4096, 128)
+			}
+			if now >= 12 && delivered < len(out) {
+				// Hand one completion back per cycle from cycle 12 on.
+				engine.Deliver(out[delivered], now)
+				delivered++
+			}
+			engine.Tick(now)
+			if now >= 5 && now%3 == 0 {
+				// The router drains sporadically, returning port credits.
+				router.Tick(now)
+			}
+		}
+		return engine.Stats(), injs
+	}
+
+	refStats, refInjs := run(true)
+	fastStats, fastInjs := run(false)
+	if refStats != fastStats {
+		t.Fatalf("stats differ:\n  force-scan: %+v\n  event-driven: %+v", refStats, fastStats)
+	}
+	if len(refInjs) != len(fastInjs) {
+		t.Fatalf("injection counts differ: %d vs %d", len(refInjs), len(fastInjs))
+	}
+	for i := range refInjs {
+		if refInjs[i] != fastInjs[i] {
+			t.Fatalf("injection %d differs: force-scan %+v, event-driven %+v", i, refInjs[i], fastInjs[i])
+		}
+	}
+	if refStats.InjectStalls == 0 || refStats.Injected != 6 || refStats.Completed == 0 {
+		t.Fatalf("vacuous scenario: %+v", refStats)
+	}
+}

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"sara/internal/config"
@@ -58,6 +59,31 @@ func BandwidthSummary(runs []PolicyRun) stats.Summary {
 	return stats.Summarize(xs)
 }
 
+// PerCoreNPISummaries aggregates, core by core, the across-seed
+// distribution of each core's minimum NPI — the error bars behind the
+// Fig. 5/6/9-style per-core tables. Cores are returned in sorted order
+// for stable output; a core absent from some runs (its meter produced no
+// sample there) contributes only the runs that measured it, which the
+// per-core Summary.N reports.
+func PerCoreNPISummaries(runs []PolicyRun) ([]string, map[string]stats.Summary) {
+	vals := map[string][]float64{}
+	for _, r := range runs {
+		for core, v := range r.MinNPI {
+			vals[core] = append(vals[core], v)
+		}
+	}
+	cores := make([]string, 0, len(vals))
+	for core := range vals {
+		cores = append(cores, core)
+	}
+	sort.Strings(cores)
+	out := make(map[string]stats.Summary, len(cores))
+	for _, core := range cores {
+		out[core] = stats.Summarize(vals[core])
+	}
+	return cores, out
+}
+
 // FormatSeedSummary renders a seed fan-out as one line per metric.
 func FormatSeedSummary(runs []PolicyRun) string {
 	if len(runs) == 0 {
@@ -81,5 +107,21 @@ func FormatSeedSummary(runs []PolicyRun) string {
 		fmt.Fprintf(&b, "  worst min NPI  %6.3f +/- %.3f (std %.3f)\n", npi.Mean, npi.CI95, npi.Std)
 	}
 	fmt.Fprintf(&b, "  bandwidth GB/s %6.2f +/- %.2f (std %.2f)\n", bw.Mean, bw.CI95, bw.Std)
+	// The per-core table the figures plot, with across-seed error bars:
+	// each row is one core's min-NPI mean +/- 95% CI over the seed pool,
+	// flagged against the same pass/fail thresholds as a single run.
+	cores, sums := PerCoreNPISummaries(runs)
+	for _, core := range cores {
+		s := sums[core]
+		status := "PASS"
+		switch {
+		case s.Mean < FailNPI:
+			status = "FAIL"
+		case s.Mean < PassNPI:
+			status = "WARN"
+		}
+		fmt.Fprintf(&b, "    %-14s min NPI %6.3f +/- %.3f (std %.3f, %d seeds)  %s\n",
+			core, s.Mean, s.CI95, s.Std, s.N, status)
+	}
 	return b.String()
 }

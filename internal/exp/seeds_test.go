@@ -3,6 +3,7 @@ package exp
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"sara/internal/config"
@@ -101,5 +102,46 @@ func TestWorstNPISummarySkipsEmptyRuns(t *testing.T) {
 	// All-empty input degrades to the zero summary, not to NaN or 1e18.
 	if s := WorstNPISummary([]PolicyRun{{MinNPI: nil}}); s.N != 0 || s.Mean != 0 {
 		t.Fatalf("all-empty summary = %+v, want zero value", s)
+	}
+}
+
+// TestPerCoreNPISummaries covers the per-core error-bar aggregation the
+// seed sweep tables print: stable sorted core order, per-core N counting
+// only the runs that measured the core, and correct means.
+func TestPerCoreNPISummaries(t *testing.T) {
+	runs := []PolicyRun{
+		{MinNPI: map[string]float64{"Display": 1.1, "DSP": 0.9}},
+		{MinNPI: map[string]float64{"Display": 1.3}}, // DSP unmeasured this seed
+		{MinNPI: nil},
+	}
+	cores, sums := PerCoreNPISummaries(runs)
+	if !reflect.DeepEqual(cores, []string{"DSP", "Display"}) {
+		t.Fatalf("core order %v, want [DSP Display]", cores)
+	}
+	if s := sums["Display"]; s.N != 2 || math.Abs(s.Mean-1.2) > 1e-12 {
+		t.Fatalf("Display summary %+v, want N=2 mean=1.2", s)
+	}
+	if s := sums["DSP"]; s.N != 1 || s.Mean != 0.9 || s.CI95 != 0 {
+		t.Fatalf("DSP summary %+v, want N=1 mean=0.9", s)
+	}
+}
+
+// TestFormatSeedSummaryPerCoreRows asserts the seed summary renders the
+// per-core error-bar table alongside the aggregate lines.
+func TestFormatSeedSummaryPerCoreRows(t *testing.T) {
+	seeds := []uint64{1, 2}
+	runs := RunSeeds(config.CaseA, memctrl.QoS, seeds, FastOptions())
+	out := FormatSeedSummary(runs)
+	cores, _ := PerCoreNPISummaries(runs)
+	if len(cores) == 0 {
+		t.Fatal("no cores measured; the per-core table would be empty")
+	}
+	for _, core := range cores {
+		if !strings.Contains(out, core) {
+			t.Fatalf("summary lacks per-core row for %q:\n%s", core, out)
+		}
+	}
+	if !strings.Contains(out, "+/-") {
+		t.Fatalf("summary lacks error bars:\n%s", out)
 	}
 }

@@ -107,6 +107,11 @@ type Controller struct {
 	// incremental-maintenance and invalidation contract.
 	buckets []bucket
 
+	// npending caches the total queued-transaction count across the five
+	// class queues; Pending is on the controller's activity-hint path,
+	// which the kernel's wake-heap validation queries per probe.
+	npending int
+
 	// nextTry is the next cycle a queue scan can possibly yield a
 	// command. After a scan finds nothing issuable, the blockers are pure
 	// DRAM timing (plus aging thresholds), both of which are exactly
@@ -143,6 +148,14 @@ type Controller struct {
 	rankPending   []int
 	rankIdleFrom  []sim.Cycle
 	refNextAction sim.Cycle
+
+	// wake is the controller's kernel wake handle. The only external
+	// event that can move this controller's next action earlier is an
+	// Enqueue from the NoC side (everything else — DRAM timing gates,
+	// refresh cadence — is this controller's own state machine), so
+	// Enqueue is the one place that pushes a re-arm into the kernel's
+	// wake heap; self-inflicted later wakes are reconciled lazily.
+	wake sim.WakeHandle
 }
 
 // neverTry marks a dormant controller whose queue contents must change
@@ -213,26 +226,35 @@ func (c *Controller) Enqueue(t *txn.Transaction, now sim.Cycle) {
 	}
 	t.Enqueue = now
 	t.RowPath = neededNothing
+	wasEmpty := c.npending == 0
 	e := entry{t: t, loc: loc}
 	c.queues[t.Class].push(e)
+	c.npending++
 	c.bucketPush(e)
 	c.stats.Enqueued++
 	if c.refreshOn {
 		c.rankPending[loc.Rank]++
 	}
 	// A new transaction invalidates the dormancy window: it may be
-	// issuable immediately, and it changes the row-hit picture.
+	// issuable immediately, and it changes the row-hit picture. The
+	// kernel wake is re-armed alongside (the upstream router ticks
+	// before this controller, so the entry is schedulable this cycle) —
+	// but only when the controller was parked in the future, or was
+	// empty (an empty controller's hint ignores nextTry entirely, so its
+	// kernel bound may be parked at never regardless of nextTry); a
+	// nonempty controller already due now has a bound at or below now.
+	if wasEmpty || c.nextTry > now {
+		c.wake.Rearm(now)
+	}
 	c.nextTry = 0
 }
 
+// BindWake implements sim.WakeBinder: the kernel hands the controller its
+// wake handle at registration, for the Enqueue re-arm.
+func (c *Controller) BindWake(h sim.WakeHandle) { c.wake = h }
+
 // Pending reports the total number of queued transactions.
-func (c *Controller) Pending() int {
-	n := 0
-	for i := range c.queues {
-		n += len(c.queues[i].entries)
-	}
-	return n
-}
+func (c *Controller) Pending() int { return c.npending }
 
 // rrDist measures how far class is from the round-robin pointer; the class
 // whose turn is next has distance 0.
@@ -250,7 +272,7 @@ func (c *Controller) rrDist(class txn.Class) int {
 func (c *Controller) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	var queueAt sim.Cycle
 	queueOK := false
-	if c.Pending() > 0 && c.nextTry != neverTry {
+	if c.npending > 0 && c.nextTry != neverTry {
 		// nextTry == neverTry: every queued transaction is blocked on a
 		// queue-shape change (e.g. the open-page guard); only an Enqueue
 		// can unblock it.
@@ -757,6 +779,7 @@ func (c *Controller) issueCAS(e entry, now sim.Cycle) {
 	q := &c.queues[e.t.Class]
 	wasFull := q.full()
 	q.remove(e.t.ID)
+	c.npending--
 	c.bucketRemove(c.bankKey(e.loc), e.t.ID)
 	if wasFull && c.OnRelease != nil {
 		c.OnRelease(e.t.Class, now)

@@ -90,9 +90,12 @@ func DefaultParams() Params {
 // contract: a component that caches its next-grant cycle implements Waker
 // so the events that could make a grant possible earlier — an upstream
 // injection landing mid-sleep, a downstream credit return — can re-arm the
-// cached wake. Re-arming earlier than necessary is always safe (the
-// component scans, finds nothing, and recomputes); failing to re-arm
-// breaks simulation equivalence.
+// cached wake. Under the kernel's push-based wake heap the receiver must
+// forward the re-arm to its sim.WakeHandle as well (the kernel no longer
+// polls hints per executed cycle); the Router does so in Wake. Re-arming
+// earlier than necessary is always safe (the component scans, finds
+// nothing, and recomputes); failing to re-arm breaks simulation
+// equivalence.
 type Waker interface {
 	// Wake re-arms the receiver to re-evaluate no later than cycle at.
 	Wake(at sim.Cycle)
@@ -118,10 +121,15 @@ type Port struct {
 	// index at that router (for the credit trace).
 	owner *Router
 	idx   int
-	// creditTo, when the port is the downstream end of a router-to-router
-	// link, is the upstream router to wake when a pop frees space in a
-	// full FIFO (the credit return).
-	creditTo Waker
+	// creditTo is the feeder to wake when a pop frees space in a full
+	// FIFO (the credit return): the upstream router of a router-to-router
+	// link (eager — woken on every full pop), or the DMA engine injecting
+	// into the port (lazy — woken only while creditArmed, which the
+	// engine sets when it parks port-blocked, so the common full pop with
+	// an unblocked feeder costs one flag test instead of a wake).
+	creditTo    Waker
+	creditLazy  bool
+	creditArmed bool
 }
 
 // NewPort returns a port with the given FIFO depth.
@@ -143,9 +151,17 @@ func (p *Port) Push(t *txn.Transaction, arrived, readyAt sim.Cycle) {
 		panic("noc: push to full port")
 	}
 	p.fifo = append(p.fifo, packet{t: t, readyAt: readyAt, arrived: arrived, out: -1})
-	if p.owner != nil {
-		p.owner.queued++
-		p.owner.Wake(readyAt)
+	if o := p.owner; o != nil {
+		// Only the dormancy window is maintained here, keeping Push
+		// inlinable in the injection and forwarding hot paths. The
+		// kernel-side re-arm is deferred to the router's tick-top sync:
+		// a push always comes from a component that ticks before its
+		// owning router in the same executed cycle, so the sync observes
+		// it before the kernel can fast-forward again.
+		o.queued++
+		if readyAt < o.nextGrantAt {
+			o.nextGrantAt = readyAt
+		}
 	}
 }
 
@@ -167,7 +183,8 @@ func (p *Port) pop(now sim.Cycle) packet {
 			debugCredit(p.owner.name, now, p.idx, wasFull)
 		}
 	}
-	if wasFull && p.creditTo != nil {
+	if wasFull && p.creditTo != nil && (!p.creditLazy || p.creditArmed) {
+		p.creditArmed = false
 		p.creditTo.Wake(now + 1)
 	}
 	return pk
@@ -208,8 +225,33 @@ func (s PortSink) Accept(t *txn.Transaction, now sim.Cycle) {
 	s.Port.Push(t, now, now+s.Hop)
 }
 
+// OnCredit registers w to be woken when a pop frees a slot in the full
+// FIFO — the credit return of whatever feeds this port: the upstream
+// router of a router-to-router link, or the DMA engine injecting into it.
+// A port has exactly one feeder; wiring a second would silently steal the
+// first one's credit wakes, so it panics instead.
+func (p *Port) OnCredit(w Waker) {
+	if p.creditTo != nil {
+		panic("noc: port already credit-wired")
+	}
+	p.creditTo = w
+}
+
+// OnCreditArmed wires w like OnCredit but lazily: pops wake w only after
+// an ArmCredit call, and consume the arming. The DMA engines use it so
+// pops of a full port whose feeder is not actually blocked on it (idle,
+// or window-limited) cost a flag test instead of a wake.
+func (p *Port) OnCreditArmed(w Waker) {
+	p.OnCredit(w)
+	p.creditLazy = true
+}
+
+// ArmCredit requests a wake from the next credit-returning pop. The
+// feeder calls it when it blocks on the full FIFO.
+func (p *Port) ArmCredit() { p.creditArmed = true }
+
 // OnCredit implements CreditSink: pops of the full downstream port wake w.
-func (s PortSink) OnCredit(w Waker) { s.Port.creditTo = w }
+func (s PortSink) OnCredit(w Waker) { s.Port.OnCredit(w) }
 
 // Router arbitrates its input ports onto one or more output sinks. Packets
 // are routed to an output by the Route function (e.g. by DRAM channel at
@@ -258,6 +300,13 @@ type Router struct {
 	// stats
 	forwarded uint64
 	stalls    uint64 // cycles an arbitrable head existed but no grant fit
+
+	// wake is the router's kernel wake handle: credit wakes and the
+	// tick-top sync push re-arms of nextGrantAt into the kernel's wake
+	// heap through it, so the kernel can fast-forward without polling
+	// NextActivity. Scan-end increases of nextGrantAt are left to the
+	// heap's lazy validation.
+	wake sim.WakeHandle
 }
 
 // debugStall, when set, observes every stall accrual (tests only).
@@ -376,14 +425,26 @@ func (r *Router) Forwarded() uint64 { return r.forwarded }
 // Stalls reports cycles where a ready head existed but nothing was granted.
 func (r *Router) Stalls() uint64 { return r.stalls }
 
+// BindWake implements sim.WakeBinder: the kernel hands the router its
+// wake handle at registration, so Wake can push external re-arms into
+// the kernel's wake heap.
+func (r *Router) BindWake(h sim.WakeHandle) { r.wake = h }
+
 // Wake implements Waker: re-arm the router to scan no later than cycle at.
 // Earlier than necessary is safe — the scan finds nothing grantable and
 // recomputes the window. Pushes wake at the packet's readyAt; credit
-// returns wake at the cycle after the pop or queue release.
+// returns wake at the cycle after the pop or queue release. The re-arm is
+// forwarded to the kernel's wake heap, which is what lets the kernel skip
+// to this router's next grant without polling it.
 func (r *Router) Wake(at sim.Cycle) {
 	if at < r.nextGrantAt {
 		r.nextGrantAt = at
 	}
+	// Credit wakes land after this router's tick in their cycle, so the
+	// tick-top sync cannot observe them before the next fast-forward —
+	// they must reach the kernel directly. (Rearm drops values the
+	// kernel's cached bound already covers.)
+	r.wake.Rearm(at)
 }
 
 // NextActivity implements sim.Idler from the cached dormancy window: an
@@ -427,6 +488,13 @@ func (r *Router) Tick(now sim.Cycle) {
 	if r.queued == 0 {
 		return // stallFrom is never: the scan that popped the last packet reset it
 	}
+	// Tick-top sync: push the dormancy window into the kernel's wake
+	// heap. This is the kernel-side half of every Port.Push since the
+	// last tick (pushes keep Push itself inlinable by only touching the
+	// window), and a no-op compare when the cached bound already covers
+	// it. Pushes always precede the owning router's tick within their
+	// executed cycle, so no fast-forward can happen in between.
+	r.wake.Rearm(r.nextGrantAt)
 	if now < r.nextGrantAt && !forceScan {
 		// Dormant: the window proves no grant can occur this cycle, so
 		// the only per-cycle work is the stall accounting the reference

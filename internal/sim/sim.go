@@ -16,10 +16,23 @@
 // executed in full — every due event fires, every ticker ticks, in
 // registration order — so skipping is observationally identical to
 // cycle-by-cycle stepping as long as Idler contracts are honored.
+//
+// Wake scheduling is push-based: the kernel keeps an indexed min-heap of
+// per-idler cached wake cycles, components re-arm their heap entry through
+// the WakeHandle returned by Register whenever an external action moves
+// their next activity to an earlier cycle, and the fast-forward target is
+// read off the heap top instead of polling every idler's hint each
+// executed cycle. The legacy per-cycle polling sweep survives behind
+// SetForcePoll as the linear reference the differential tests replay
+// against.
 package sim
 
 // Cycle is a point in simulated time, measured in DRAM command-clock cycles.
 type Cycle uint64
+
+// never marks an unarmed wake-heap entry: the idler reported it will not
+// act again without external input, so only a Rearm can revive it.
+const never = ^Cycle(0)
 
 // Ticker is a component that advances by one cycle at a time.
 type Ticker interface {
@@ -39,28 +52,74 @@ type Ticker interface {
 // commands, or mutate externally observable counters — at any cycle
 // strictly before the reported activity cycle.
 //
-// The kernel re-queries the hint after every executed cycle, so the
-// promise only needs to hold until something else runs. Reporting an
-// earlier cycle than necessary is always safe (the kernel merely executes
-// a cycle that turns out to be uneventful); reporting a later cycle than
-// the component's true next action breaks simulation equivalence.
+// The contract is push-based. The kernel caches each idler's most recent
+// hint in an indexed wake heap and does NOT re-query every hint after
+// every executed cycle; it re-queries an idler only when that idler's
+// cached entry reaches the heap top during a fast-forward probe. The
+// cached entry is therefore required to be a sound LOWER bound on the
+// idler's true next activity at all times, which splits responsibility in
+// two:
 //
-// Wake propagation: a component may cache its next-activity cycle instead
-// of recomputing it per query — but then any other component whose action
-// could advance the sleeper's next action to an EARLIER cycle (an
-// upstream injection landing in its queue mid-sleep, a downstream credit
-// return unblocking it) must re-arm the cached wake during the executed
-// cycle in which that action happens (see noc.Waker). The kernel
-// re-queries every hint after each executed cycle, and external actions
-// only ever happen on executed cycles, so a re-armed earlier wake is
-// always observed before any further fast-forwarding. A cached hint that
-// nothing re-arms must therefore be a sound lower bound on the
-// component's next action given a frozen rest-of-system.
+//   - Re-arm is mandatory on external wakes. Whenever another component's
+//     action could advance this idler's next action to an EARLIER cycle
+//     than its cached entry — an upstream injection landing in its queue
+//     mid-sleep, a downstream credit return unblocking it, a completion
+//     freeing its window — the component performing the action (or the
+//     wiring between them, see noc.Waker and dma.Engine) must call
+//     WakeHandle.Rearm with the new wake cycle during the executed cycle
+//     in which the action happens. Re-arming earlier than necessary is
+//     always safe: the kernel executes a cycle that turns out to be
+//     uneventful, re-validates the hint, and goes back to sleep. Failing
+//     to re-arm lets the kernel skip past the action and breaks
+//     simulation equivalence.
+//
+//   - Lazy increase is always safe. When an idler's next activity moves
+//     LATER (it consumed its queue, its tokens drained), it does not need
+//     to tell the kernel: the stale too-early entry merely surfaces at
+//     the heap top, the kernel re-queries NextActivity once, and the
+//     entry sinks to its correct place. An idler that reports ok=false
+//     parks at the heap bottom but is never unregistered — a later Rearm
+//     revives it.
+//
+// NextActivity itself must remain cheap and pure: it is the validation
+// query for the heap top, and (under SetForcePoll) the per-cycle linear
+// reference. Components that cache their wake cycle should answer from
+// the cache in O(1).
 type Idler interface {
 	// NextActivity reports the earliest cycle >= now at which the
 	// component may act on the system, or ok=false if it will never act
 	// again without external input.
 	NextActivity(now Cycle) (at Cycle, ok bool)
+}
+
+// WakeBinder is an optional interface for Idlers that participate in
+// push-based wake scheduling: Register hands the component its WakeHandle
+// so the component (and the wiring around it) can re-arm its kernel wake
+// when an external action moves its next activity earlier.
+type WakeBinder interface {
+	// BindWake receives the component's wake handle at registration time.
+	BindWake(h WakeHandle)
+}
+
+// WakeHandle re-arms one registered idler's cached wake cycle in the
+// kernel's wake heap. The zero value is inert (Rearm is a no-op), so
+// components can hold a handle unconditionally and be driven either by a
+// kernel or standalone in unit tests.
+type WakeHandle struct {
+	k  *Kernel
+	id int
+}
+
+// Rearm lowers the idler's cached wake to at if the cached value is
+// later (decrease-key). Raising a cached wake is impossible by design:
+// increases are reconciled lazily when the entry reaches the heap top,
+// so a spurious early Rearm can cost an uneventful executed cycle but
+// can never lose a wake.
+func (h WakeHandle) Rearm(at Cycle) {
+	if h.k == nil {
+		return
+	}
+	h.k.Rearm(h.id, at)
 }
 
 // TickFunc adapts a function to the Ticker interface. It does not
@@ -137,26 +196,147 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// Kernel owns the clock, the ordered ticker list and the event queue.
-// The zero value is ready to use, with idle skipping enabled.
+// wakeEntry is one idler's slot in the wake heap; keys live inline so
+// sift compares and swaps stay within one contiguous array.
+type wakeEntry struct {
+	at Cycle
+	id int32
+}
+
+type wakeHeap struct {
+	// entries is the heap itself; keys live inline so sift compares and
+	// swaps stay within one contiguous array instead of chasing three.
+	entries []wakeEntry
+	// at mirrors each id's cached wake and pos tracks each id's index in
+	// entries, making rearm an O(1) no-op test and fix an O(log n)
+	// position-tracked sift instead of a duplicate-entry push (which
+	// would allocate on the steady-state wake path).
+	at  []Cycle
+	pos []int32
+}
+
+// add registers a new idler with an immediately-due wake (cycle 0), so
+// the first fast-forward probe validates every hint once. The new entry
+// is sifted into place so the invariant holds even when entries were
+// re-keyed between adds.
+func (h *wakeHeap) add(id int) {
+	h.at = append(h.at, 0)
+	h.entries = append(h.entries, wakeEntry{at: 0, id: int32(id)})
+	h.pos = append(h.pos, int32(len(h.entries)-1))
+	h.siftUp(len(h.entries) - 1)
+}
+
+// rearm lowers id's cached wake (decrease-key); at values at or above
+// the cached bound are dropped without touching the heap.
+func (h *wakeHeap) rearm(id int, at Cycle) {
+	if at >= h.at[id] {
+		return
+	}
+	h.fix(id, at)
+}
+
+// fix sets id's cached wake and restores heap order in the appropriate
+// direction. The probe's validation pass uses it on an integrated heap.
+func (h *wakeHeap) fix(id int, c Cycle) {
+	old := h.at[id]
+	h.at[id] = c
+	h.entries[h.pos[id]].at = c
+	if c < old {
+		h.siftUp(int(h.pos[id]))
+	} else if c > old {
+		h.siftDown(int(h.pos[id]))
+	}
+}
+
+// Rearm buffering note: an earlier revision deferred these sifts into a
+// dirty list integrated at probe time; property fuzzing showed one
+// siftUp per dirty id cannot restore the invariant under simultaneous
+// decreases (a displaced ancestor can land above an already-settled
+// dirty entry), so re-arms sift immediately and correctness stays local
+// to the two classic operations.
+
+func (h *wakeHeap) siftUp(i int) {
+	q := h.entries
+	e := q[i]
+	moved := false
+	for i > 0 {
+		p := (i - 1) / 2
+		if e.at >= q[p].at {
+			break
+		}
+		q[i] = q[p]
+		h.pos[q[i].id] = int32(i)
+		i = p
+		moved = true
+	}
+	if moved {
+		q[i] = e
+		h.pos[e.id] = int32(i)
+	}
+}
+
+func (h *wakeHeap) siftDown(i int) {
+	q := h.entries
+	n := len(q)
+	e := q[i]
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		at := e.at
+		if l < n && q[l].at < at {
+			s, at = l, q[l].at
+		}
+		if r < n && q[r].at < at {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i] = q[s]
+		h.pos[q[i].id] = int32(i)
+		q[s] = e
+		h.pos[e.id] = int32(s)
+		i = s
+	}
+}
+
+// forcePoll, when set, replaces the wake-heap fast-forward probe with the
+// legacy linear sweep over every idler's NextActivity — the polling
+// reference the wake-heap differential tests replay against (tests only;
+// not for concurrent use, like noc.SetForceScan).
+var forcePoll bool
+
+// SetForcePoll forces the per-cycle linear NextActivity sweep (tests
+// only). The sweep and the heap compute the same fast-forward target as
+// long as every external wake is re-armed, which is exactly the property
+// the differential suites check.
+func SetForcePoll(on bool) { forcePoll = on }
+
+// Kernel owns the clock, the ordered ticker list, the event queue and the
+// wake heap. The zero value is ready to use, with idle skipping enabled.
 type Kernel struct {
 	now     Cycle
 	tickers []Ticker
-	// idlers holds the Idler view of every registered ticker. If any
-	// ticker does not implement Idler the kernel cannot prove quiescence
-	// and opaque is set, which disables skipping entirely.
+	// idlers holds the Idler view of every registered ticker, indexed by
+	// wake-heap id. If any ticker does not implement Idler the kernel
+	// cannot prove quiescence and opaque is set, which disables skipping
+	// entirely.
 	idlers  []Idler
+	wakes   wakeHeap
 	opaque  bool
 	noSkip  bool
 	events  eventHeap
 	seq     uint64
 	started bool
 	skipped uint64
-	// hot remembers which idler most recently reported immediate
-	// activity; checking it first short-circuits the fast-forward query
-	// on busy stretches, where the same component stays active for many
-	// consecutive cycles.
-	hot int
+	// hot remembers the idlers that most recently reported immediate
+	// activity (hot[0] newest); querying them first short-circuits the
+	// fast-forward probe on busy stretches, where a small set of
+	// components (controllers, routers) trade being the active one cycle
+	// to cycle, without touching the wake heap at all. A busy live hint
+	// makes the probe's answer "now" regardless of any cached bound, so
+	// the shortcut cannot change a skip decision.
+	hot [2]int
 	// busyStreak counts consecutive fast-forward probes that found
 	// immediate activity, and busyLatch is the number of upcoming cycles
 	// to execute without probing at all. Under sustained load (the
@@ -191,21 +371,44 @@ func (k *Kernel) SetIdleSkip(on bool) { k.noSkip = !on }
 // enabled and every registered ticker must implement Idler.
 func (k *Kernel) IdleSkipActive() bool { return !k.noSkip && !k.opaque }
 
-// Register appends t to the per-cycle tick list. Components are ticked in
-// registration order, which the SoC assembly uses to realize the pipeline
-// order sources -> DMAs -> NoC -> MC -> DRAM -> responses -> adapters.
-// Register panics if the simulation has already started, because inserting
-// a ticker mid-run would silently skip its earlier cycles.
-func (k *Kernel) Register(t Ticker) {
+// Register appends t to the per-cycle tick list and returns t's wake
+// handle. Components are ticked in registration order, which the SoC
+// assembly uses to realize the pipeline order sources -> DMAs -> NoC ->
+// MC -> DRAM -> responses -> adapters; the wake heap orders itself by
+// cached wake cycle, so registration order never affects fast-forward
+// targets. If t implements WakeBinder the handle is also pushed into the
+// component here, so assemblies get push wiring for free. Tickers that do
+// not implement Idler receive an inert handle (and disable skipping).
+// Register panics if the simulation has already started, because
+// inserting a ticker mid-run would silently skip its earlier cycles.
+func (k *Kernel) Register(t Ticker) WakeHandle {
 	if k.started {
 		panic("sim: Register after simulation started")
 	}
 	k.tickers = append(k.tickers, t)
-	if id, ok := t.(Idler); ok {
-		k.idlers = append(k.idlers, id)
-	} else {
+	id, ok := t.(Idler)
+	if !ok {
 		k.opaque = true
+		return WakeHandle{}
 	}
+	h := WakeHandle{k: k, id: len(k.idlers)}
+	k.idlers = append(k.idlers, id)
+	k.wakes.add(h.id)
+	if wb, ok := t.(WakeBinder); ok {
+		wb.BindWake(h)
+	}
+	return h
+}
+
+// Rearm lowers idler id's cached wake cycle to at (a buffered
+// decrease-key; see wakeHeap.rearm); a cached wake at or before at is
+// left untouched. Components normally call this through their
+// WakeHandle.
+func (k *Kernel) Rearm(id int, at Cycle) {
+	if id < 0 || id >= len(k.wakes.at) {
+		return
+	}
+	k.wakes.rearm(id, at)
 }
 
 // At schedules fn to run at cycle at, before that cycle's tickers. If at is
@@ -263,19 +466,9 @@ func (k *Kernel) Step() {
 
 // Run advances the simulation until the clock reaches horizon (exclusive).
 // When idle skipping is active, quiescent stretches — no event due and
-// every ticker's NextActivity strictly in the future — are fast-forwarded
+// every ticker's cached wake strictly in the future — are fast-forwarded
 // instead of executed.
 func (k *Kernel) Run(horizon Cycle) {
-	if !k.started && len(k.idlers) > 1 {
-		// Query idlers in reverse registration order: assemblies register
-		// pipeline consumers (routers, memory controllers) last, and those
-		// are the components most often active — finding a veto early
-		// short-circuits the fast-forward probe. The set minimum is order
-		// independent, so this is purely a query optimization.
-		for i, j := 0, len(k.idlers)-1; i < j; i, j = i+1, j-1 {
-			k.idlers[i], k.idlers[j] = k.idlers[j], k.idlers[i]
-		}
-	}
 	skip := k.IdleSkipActive()
 	for k.now < horizon {
 		k.Step()
@@ -287,17 +480,19 @@ func (k *Kernel) Run(horizon Cycle) {
 
 // NextWake reports the cycle Run would fast-forward to from the current
 // clock — the next due event or the earliest ticker activity — capped at
-// horizon. It does not move the clock; the equivalence tests use it to
-// audit Idler hints against actual behavior.
+// horizon. It does not move the clock and always uses the linear poll
+// sweep, making it an audit of the live hints (and of the wake heap's
+// cached bounds, which may never be later); the equivalence tests use it
+// to check Idler hints against actual behavior.
 func (k *Kernel) NextWake(horizon Cycle) Cycle {
-	return k.nextWake(horizon, false)
+	return k.nextWakePoll(horizon)
 }
 
-// nextWake computes the fast-forward target: the next due event or the
-// earliest ticker activity, capped at horizon; k.now means something is
-// due immediately. With updateHot it remembers which idler vetoed, so
-// the next query can short-circuit on it.
-func (k *Kernel) nextWake(horizon Cycle, updateHot bool) Cycle {
+// nextWakePoll computes the fast-forward target by the legacy linear
+// sweep: the next due event or the earliest ticker activity, capped at
+// horizon; k.now means something is due immediately. It is the
+// SetForcePoll reference and the NextWake audit.
+func (k *Kernel) nextWakePoll(horizon Cycle) Cycle {
 	target := horizon
 	if len(k.events) > 0 {
 		at := k.events[0].at
@@ -308,15 +503,12 @@ func (k *Kernel) nextWake(horizon Cycle, updateHot bool) Cycle {
 			target = at
 		}
 	}
-	for i, id := range k.idlers {
+	for _, id := range k.idlers {
 		next, ok := id.NextActivity(k.now)
 		if !ok {
 			continue
 		}
 		if next <= k.now {
-			if updateHot {
-				k.hot = i
-			}
 			return k.now
 		}
 		if next < target {
@@ -326,12 +518,67 @@ func (k *Kernel) nextWake(horizon Cycle, updateHot bool) Cycle {
 	return target
 }
 
+// nextWakeHeap computes the fast-forward target from the wake heap: the
+// next due event or the heap top, capped at horizon. Only entries whose
+// cached wake is at or before the current cycle are re-queried — they
+// are either genuinely busy (probe answers "now") or consumed wakes,
+// which the query raises to their exact next cycle or parks at never.
+// A FUTURE cached wake is trusted without a query: every cached wake is
+// a sound lower bound, so skipping to the heap minimum can never skip
+// past real activity — at worst a stale-early bound wakes the kernel
+// for one uneventful executed cycle, whose probe then raises it. That
+// trade (a rare extra cycle instead of validating every future bound
+// per probe) is what keeps the probe O(1) once the due entries are
+// resolved; under SetForcePoll the linear reference instead computes
+// the exact swept minimum, so the poll reference may skip slightly more
+// while observable behavior stays bit-identical.
+func (k *Kernel) nextWakeHeap(horizon Cycle) Cycle {
+	target := horizon
+	if len(k.events) > 0 {
+		at := k.events[0].at
+		if at <= k.now {
+			return k.now
+		}
+		if at < target {
+			target = at
+		}
+	}
+	h := &k.wakes
+	for len(h.entries) > 0 {
+		top := h.entries[0]
+		if top.at > k.now {
+			// No busy suspicion left: the heap minimum bounds every
+			// idler's next activity from below.
+			if top.at < target {
+				target = top.at
+			}
+			break
+		}
+		id := int(top.id)
+		at, ok := k.idlers[id].NextActivity(k.now)
+		if !ok {
+			h.fix(id, never)
+			continue
+		}
+		if at <= k.now {
+			// Immediately busy. The stale-low key is left in place — it
+			// is still a sound lower bound — and the idler joins the hot
+			// set, so sustained load keeps answering from a few live
+			// hints without touching the heap at all.
+			k.noteHot(id)
+			return k.now
+		}
+		h.fix(id, at)
+	}
+	return target
+}
+
 // fastForward advances the clock to the earliest upcoming activity —
-// the next due event or the earliest ticker wakeup — capped at
-// horizon-1 so the run's final cycle always executes: components defer
-// bookkeeping (batched stall counters) to their next Tick, and that
-// last tick settles anything accrued over a trailing quiescent stretch.
-// It returns without moving the clock if anything is due now.
+// the next due event or the earliest cached wake — capped at horizon-1 so
+// the run's final cycle always executes: components defer bookkeeping
+// (batched stall counters) to their next Tick, and that last tick settles
+// anything accrued over a trailing quiescent stretch. It returns without
+// moving the clock if anything is due now.
 func (k *Kernel) fastForward(horizon Cycle) {
 	if k.busyLatch > 0 {
 		// Provably-safe probe skip: recent back-to-back activity latched
@@ -344,13 +591,24 @@ func (k *Kernel) fastForward(horizon Cycle) {
 		k.noteBusy()
 		return
 	}
-	if h := k.hot; h < len(k.idlers) {
+	for i, h := range k.hot {
+		if h >= len(k.idlers) || (i > 0 && h == k.hot[0]) {
+			continue
+		}
 		if next, ok := k.idlers[h].NextActivity(k.now); ok && next <= k.now {
+			if i > 0 {
+				k.noteHot(h)
+			}
 			k.noteBusy()
 			return
 		}
 	}
-	target := k.nextWake(horizon-1, true)
+	var target Cycle
+	if forcePoll {
+		target = k.nextWakePoll(horizon - 1)
+	} else {
+		target = k.nextWakeHeap(horizon - 1)
+	}
 	if target > k.now {
 		k.busyStreak = 0
 		k.skipped += uint64(target - k.now)
@@ -358,6 +616,24 @@ func (k *Kernel) fastForward(horizon Cycle) {
 		return
 	}
 	k.noteBusy()
+}
+
+// noteHot promotes id to the front of the hot set (most-recently busy
+// first), shifting the newer entries down and evicting the oldest — or
+// rotating id forward if it is already present.
+func (k *Kernel) noteHot(id int) {
+	if k.hot[0] == id {
+		return
+	}
+	j := len(k.hot) - 1
+	for i := 1; i < j; i++ {
+		if k.hot[i] == id {
+			j = i
+			break
+		}
+	}
+	copy(k.hot[1:j+1], k.hot[:j])
+	k.hot[0] = id
 }
 
 // noteBusy records a probe that found immediate activity and arms the

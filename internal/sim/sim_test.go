@@ -331,18 +331,24 @@ func TestKernelNextWake(t *testing.T) {
 
 // cachedSleeper models a component that caches its wake cycle instead of
 // recomputing it per query — the noc.Router idiom. Its NextActivity is a
-// pure read of the cache; Rearm is the external wake propagation.
+// pure read of the cache; Rearm is the external wake propagation, and —
+// per the push-based contract — it forwards every external re-arm to the
+// kernel wake handle received through BindWake.
 type cachedSleeper struct {
 	wakeAt Cycle
+	wake   WakeHandle
 	acted  []Cycle
 }
 
 const sleeperNever = ^Cycle(0)
 
+func (s *cachedSleeper) BindWake(h WakeHandle) { s.wake = h }
+
 func (s *cachedSleeper) Rearm(at Cycle) {
 	if at < s.wakeAt {
 		s.wakeAt = at
 	}
+	s.wake.Rearm(at)
 }
 
 func (s *cachedSleeper) Tick(now Cycle) {
@@ -362,12 +368,12 @@ func (s *cachedSleeper) NextActivity(now Cycle) (Cycle, bool) {
 	return s.wakeAt, true
 }
 
-// TestKernelReArmedWakeHonored pins the wake-propagation contract for
-// components that cache their next activity: when an external event lands
-// mid-sleep and re-arms an EARLIER wake, the kernel must execute the
-// re-armed cycle — re-querying hints after every executed cycle is what
-// makes the cached-wake idiom sound. The skipping run must act on exactly
-// the same cycles as the cycle-stepped reference.
+// TestKernelReArmedWakeHonored pins the push-based wake-propagation
+// contract for components that cache their next activity: when an
+// external event lands mid-sleep and re-arms an EARLIER wake through the
+// component's WakeHandle, the kernel must execute the re-armed cycle —
+// including reviving an entry that had parked at never. The skipping run
+// must act on exactly the same cycles as the cycle-stepped reference.
 func TestKernelReArmedWakeHonored(t *testing.T) {
 	run := func(skip bool) []Cycle {
 		var k Kernel
@@ -469,5 +475,293 @@ func TestEventHeapManyEvents(t *testing.T) {
 		if fired[i] < fired[i-1] {
 			t.Fatalf("events fired out of order at %d: %d after %d", i, fired[i], fired[i-1])
 		}
+	}
+}
+
+// unboundSleeper is the negative control for the push contract: it caches
+// its wake like cachedSleeper but never forwards re-arms to the kernel.
+type unboundSleeper struct {
+	cachedSleeper
+}
+
+func (s *unboundSleeper) BindWake(WakeHandle) {} // deliberately dropped
+
+func (s *unboundSleeper) Rearm(at Cycle) {
+	if at < s.wakeAt {
+		s.wakeAt = at
+	}
+}
+
+// TestWakeHeapRequiresRearm documents the contract inversion: a cached
+// component whose external wakes are NOT pushed through its WakeHandle is
+// handled correctly by the SetForcePoll linear reference (which re-reads
+// every hint each executed cycle) but missed by the wake heap — that gap
+// is exactly why BindWake forwarding is mandatory, and why the
+// differential suites run the poll reference against the heap.
+func TestWakeHeapRequiresRearm(t *testing.T) {
+	run := func(poll bool) []Cycle {
+		SetForcePoll(poll)
+		defer SetForcePoll(false)
+		var k Kernel
+		s := &unboundSleeper{}
+		s.wakeAt = sleeperNever
+		k.Register(s)
+		anchor := &fakeIdler{wakes: []Cycle{990}} // keeps the run alive past the re-arm
+		k.Register(anchor)
+		k.At(50, func(now Cycle) { s.Rearm(now + 5) })
+		k.Run(1000)
+		return s.acted
+	}
+	if got := run(true); len(got) != 1 || got[0] != 55 {
+		t.Fatalf("poll reference acted at %v, want [55]", got)
+	}
+	// Under the heap the re-armed cycle 55 is skipped over; the sleeper
+	// only acts when the anchor's wake at 990 happens to execute a cycle —
+	// 935 cycles late, which is the equivalence bug the contract forbids.
+	if got := run(false); len(got) != 1 || got[0] != 990 {
+		t.Fatalf("wake heap acted at %v for an unbound sleeper, want the late act [990]", got)
+	}
+}
+
+// TestWakeHeapDecreaseKey exercises the indexed heap directly: re-arms
+// are decrease-key (position-tracked, no duplicate entries), increases
+// go through fix, and the top always tracks the minimum cached wake.
+func TestWakeHeapDecreaseKey(t *testing.T) {
+	var h wakeHeap
+	for id := 0; id < 8; id++ {
+		h.add(id)
+		h.fix(id, Cycle(100+10*id))
+	}
+	if top := h.entries[0]; top.id != 0 || top.at != 100 {
+		t.Fatalf("top (%d, %d), want (0, 100)", top.id, top.at)
+	}
+	// Decrease-key a deep entry to the top.
+	h.fix(7, 5)
+	if top := h.entries[0]; top.id != 7 || top.at != 5 {
+		t.Fatalf("after decrease-key top (%d, %d), want (7, 5)", top.id, top.at)
+	}
+	// Increase it past everyone; the old minimum resurfaces.
+	h.fix(7, 1000)
+	if top := h.entries[0]; top.id != 0 || top.at != 100 {
+		t.Fatalf("after increase top (%d, %d), want (0, 100)", top.id, top.at)
+	}
+	// pos must track every move, and the mirrored keys must agree.
+	for i, e := range h.entries {
+		if h.pos[e.id] != int32(i) {
+			t.Fatalf("pos[%d] = %d, want %d", e.id, h.pos[e.id], i)
+		}
+		if h.at[e.id] != e.at {
+			t.Fatalf("at[%d] = %d, entry holds %d", e.id, h.at[e.id], e.at)
+		}
+	}
+	// Kernel.Rearm ignores increases (lazy): the cached bound only drops.
+	var k Kernel
+	k.Register(&fakeIdler{wakes: []Cycle{500}})
+	k.Rearm(0, 50)
+	if k.wakes.at[0] != 0 { // initial cached wake is 0 (due immediately)
+		t.Fatalf("Rearm raised a cached wake to %d; increases must be lazy", k.wakes.at[0])
+	}
+}
+
+// TestWakeHeapNeverIsNotUnregister pins the park-at-never semantics: an
+// idler that reports ok=false stays in the heap (its entry is parked at
+// never, not removed) and a later Rearm revives it.
+func TestWakeHeapNeverIsNotUnregister(t *testing.T) {
+	var k Kernel
+	s := &cachedSleeper{wakeAt: sleeperNever} // never acts on its own
+	k.Register(s)
+	anchor := &fakeIdler{wakes: []Cycle{10, 2000}}
+	k.Register(anchor)
+	k.Run(100) // validates s once: entry parks at never
+	if got := k.wakes.at[0]; got != never {
+		t.Fatalf("dormant sleeper cached wake %d, want never", got)
+	}
+	k.At(300, func(now Cycle) { s.Rearm(now + 7) })
+	k.Run(1500)
+	if len(s.acted) != 1 || s.acted[0] != 307 {
+		t.Fatalf("revived sleeper acted at %v, want [307]", s.acted)
+	}
+}
+
+// TestKernelRegistrationOrderIrrelevantForSkipping pins the fix for the
+// old one-time idler reversal in Run: fast-forward targets come off the
+// wake heap, so registration order affects tick order (as documented)
+// and nothing else.
+func TestKernelRegistrationOrderIrrelevantForSkipping(t *testing.T) {
+	mk := func(reverse bool) (acted [][]Cycle, skipped uint64) {
+		var k Kernel
+		a := &fakeIdler{wakes: []Cycle{5, 40, 700}}
+		b := &fakeIdler{wakes: []Cycle{40, 300}}
+		c := &cachedSleeper{wakeAt: 90}
+		if reverse {
+			k.Register(c)
+			k.Register(b)
+			k.Register(a)
+		} else {
+			k.Register(a)
+			k.Register(b)
+			k.Register(c)
+		}
+		k.Run(1000)
+		return [][]Cycle{a.ticked, b.ticked, c.acted}, k.SkippedCycles()
+	}
+	fwd, fs := mk(false)
+	rev, rs := mk(true)
+	if fs != rs {
+		t.Fatalf("skipped cycles differ with registration order: %d vs %d", fs, rs)
+	}
+	for i := range fwd {
+		if len(fwd[i]) != len(rev[i]) {
+			t.Fatalf("idler %d acted %v vs %v across registration orders", i, fwd[i], rev[i])
+		}
+		for j := range fwd[i] {
+			if fwd[i][j] != rev[i][j] {
+				t.Fatalf("idler %d acted %v vs %v across registration orders", i, fwd[i], rev[i])
+			}
+		}
+	}
+}
+
+// TestWakeHeapMatchesPoll is the kernel-level differential property: a
+// random population of self-timed idlers (stale-early cached bounds
+// after every act) and cached sleepers re-armed by random external
+// events must act on exactly the same cycles — and skip exactly the same
+// stretches — under the wake heap as under the SetForcePoll linear
+// reference and the cycle-stepped run.
+func TestWakeHeapMatchesPoll(t *testing.T) {
+	const horizon = 3000
+	type mode int
+	const (
+		stepped mode = iota
+		pollSkip
+		heapSkip
+	)
+	run := func(seed uint64, m mode) (acted [][]Cycle, skipped uint64, now Cycle) {
+		SetForcePoll(m == pollSkip)
+		defer SetForcePoll(false)
+		rng := NewRand(seed)
+		var k Kernel
+		k.SetIdleSkip(m != stepped)
+
+		nFake := 1 + rng.Intn(4)
+		nSleep := 1 + rng.Intn(4)
+		var report []func() []Cycle
+		for i := 0; i < nFake; i++ {
+			var wakes []Cycle
+			at := Cycle(0)
+			for j := 0; j < 1+rng.Intn(12); j++ {
+				at += Cycle(1 + rng.Intn(500))
+				wakes = append(wakes, at)
+			}
+			f := &fakeIdler{wakes: wakes}
+			k.Register(f)
+			report = append(report, func() []Cycle { return f.ticked })
+		}
+		for i := 0; i < nSleep; i++ {
+			s := &cachedSleeper{wakeAt: sleeperNever}
+			if rng.Bool(0.5) {
+				s.wakeAt = Cycle(rng.Intn(horizon))
+			}
+			k.Register(s)
+			for j := 0; j < rng.Intn(6); j++ {
+				at := Cycle(rng.Intn(horizon))
+				delay := Cycle(rng.Intn(40))
+				k.At(at, func(now Cycle) { s.Rearm(now + delay) })
+			}
+			report = append(report, func() []Cycle { return s.acted })
+		}
+		k.Run(horizon)
+		acted = make([][]Cycle, len(report))
+		for i, f := range report {
+			acted[i] = f()
+		}
+		return acted, k.SkippedCycles(), k.Now()
+	}
+	prop := func(seed uint64) bool {
+		ref, _, refNow := run(seed, stepped)
+		poll, pollSkipped, pollNow := run(seed, pollSkip)
+		heap, heapSkipped, heapNow := run(seed, heapSkip)
+		if refNow != pollNow || refNow != heapNow {
+			t.Errorf("seed %#x: final cycles %d / %d / %d", seed, refNow, pollNow, heapNow)
+			return false
+		}
+		same := func(a, b [][]Cycle) bool {
+			for i := range a {
+				if len(a[i]) != len(b[i]) {
+					return false
+				}
+				for j := range a[i] {
+					if a[i][j] != b[i][j] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if !same(ref, poll) {
+			t.Errorf("seed %#x: poll reference diverged from stepped run: %v vs %v", seed, poll, ref)
+			return false
+		}
+		if !same(ref, heap) {
+			t.Errorf("seed %#x: wake heap diverged from stepped run: %v vs %v", seed, heap, ref)
+			return false
+		}
+		if pollSkipped != heapSkipped {
+			t.Errorf("seed %#x: poll skipped %d cycles, heap skipped %d — the heap target must equal the swept minimum",
+				seed, pollSkipped, heapSkipped)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWakeHeapInvariant fuzzes interleaved decrease-keys (rearm) and
+// arbitrary key moves (fix, the validation pass): after every operation
+// batch the heap must satisfy the min-heap invariant with consistent
+// position tracking and key mirroring. An earlier revision buffered the
+// rearm sifts into a probe-time integration pass; this fuzz caught that
+// one sift per dirty id cannot restore the invariant under simultaneous
+// decreases, which is why re-arms now sift immediately.
+func TestWakeHeapInvariant(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := NewRand(seed)
+		var h wakeHeap
+		n := 2 + rng.Intn(40)
+		for id := 0; id < n; id++ {
+			h.add(id)
+			h.fix(id, Cycle(rng.Intn(1000)))
+		}
+		for round := 0; round < 6; round++ {
+			for i := 0; i < 1+rng.Intn(2*n); i++ {
+				h.rearm(rng.Intn(n), Cycle(rng.Intn(1000)))
+			}
+			for i := range h.entries {
+				e := h.entries[i]
+				if p := (i - 1) / 2; i > 0 && h.entries[p].at > e.at {
+					t.Errorf("seed %#x round %d: heap violation at %d: parent %d > child %d",
+						seed, round, i, h.entries[p].at, e.at)
+					return false
+				}
+				if h.pos[e.id] != int32(i) || h.at[e.id] != e.at {
+					t.Errorf("seed %#x round %d: bookkeeping broken for id %d", seed, round, e.id)
+					return false
+				}
+			}
+			// Raises (the validation pass) interleave with the next round.
+			for i := 0; i < rng.Intn(n); i++ {
+				h.fix(rng.Intn(n), Cycle(rng.Intn(1500)))
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }

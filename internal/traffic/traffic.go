@@ -18,6 +18,16 @@ import (
 // before the DMA injects; the kernel may fast-forward over cycles the
 // NextActivity hint declares quiescent, so sources integrate time from
 // the cycle number rather than counting Tick calls.
+//
+// Under the kernel's push-based wake heap a source's hint is re-queried
+// only when its cached wake surfaces, so the two external events that can
+// move a source's next activity EARLIER must re-arm its kernel wake. Both
+// are observed by the DMA engine the source feeds, which owns the re-arms
+// (see dma.Engine.BindSourceWake): a pending-queue pop from full (every
+// hint here consults PendingSpace), and — for the occupancy sources,
+// whose hints read in-flight bytes — a completion delivery. Everything
+// else about a source's schedule is self-timed from its own state, which
+// only its own Tick mutates, so no further wiring is needed.
 type Source interface {
 	// Name labels the source (usually the DMA name).
 	Name() string

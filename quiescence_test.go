@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"sara"
+	"sara/internal/dma"
 	"sara/internal/noc"
 	"sara/internal/sim"
 )
@@ -50,8 +51,11 @@ func TestNoMissedGrantWindows(t *testing.T) {
 		noc.SetDebugGrant(nil)
 
 		// Stepped force-scan replay: the per-cycle reference grant stream.
+		// The DMA injection-wake cache is bypassed too, so a stale cached
+		// injection hint shifts the replay's grants into a claimed window.
 		var refGrants []tracedGrant
 		noc.SetForceScan(true)
+		dma.SetForceScan(true)
 		noc.SetDebugGrant(func(name string, now sim.Cycle, port, out int, id uint64) {
 			refGrants = append(refGrants, tracedGrant{name, now, port, out, id})
 		})
@@ -59,6 +63,7 @@ func TestNoMissedGrantWindows(t *testing.T) {
 		refSys.Kernel().SetIdleSkip(false)
 		refSys.Run(horizon)
 		noc.SetForceScan(false)
+		dma.SetForceScan(false)
 		noc.SetDebugGrant(nil)
 
 		// Windows are emitted in scan order, hence sorted by from.

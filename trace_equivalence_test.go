@@ -46,24 +46,63 @@ type tracedCredit struct {
 	wasFull bool
 }
 
+// tracedWake is one DMA injection-wake re-arm: engine src re-armed its
+// cached next-injection cycle to at because of cause ('D' delivery, 'C'
+// port credit; enqueues need no re-arm — the engine's Tick gate reads
+// the live queue). The re-arm stream is pure behavior, so a stale or
+// missing wake diverges it instead of silently stalling a core.
+type tracedWake struct {
+	src   int
+	at    sim.Cycle
+	cause byte
+}
+
 type traces struct {
 	cmds    []tracedCmd
 	injs    []tracedInj
 	grants  []tracedGrant
 	credits []tracedCredit
+	wakes   []tracedWake
 }
 
-func runTraced(policy sara.Policy, skip, refresh bool, cycles sim.Cycle) traces {
+// traceMode selects one leg of the trace differential.
+type traceMode int
+
+const (
+	// traceStepped is the cycle-stepped reference: idle skipping off and
+	// every dormancy cache bypassed (noc, memctrl and dma force scans),
+	// so a stale cached grant window, bucket bound or injection wake
+	// diverges the trace instead of being shared by both modes.
+	traceStepped traceMode = iota
+	// traceSkipHeap is the production path: idle skipping driven by the
+	// kernel's indexed wake heap.
+	traceSkipHeap
+	// traceSkipPoll is the legacy skipping reference: idle skipping on,
+	// but the fast-forward target computed by the sim.SetForcePoll
+	// linear sweep over every NextActivity hint. Comparing it against
+	// both other modes isolates wake-heap bugs from hint bugs.
+	traceSkipPoll
+)
+
+func runTraced(policy sara.Policy, mode traceMode, refresh bool, cycles sim.Cycle) traces {
 	var tr traces
-	// The stepped reference bypasses the controller's dormancy window and
-	// bucket caches entirely, so a stale cached bound diverges the trace.
-	memctrl.SetForceScan(!skip)
+	stepped := mode == traceStepped
+	noc.SetForceScan(stepped)
+	memctrl.SetForceScan(stepped)
+	dma.SetForceScan(stepped)
+	sim.SetForcePoll(mode == traceSkipPoll)
+	defer noc.SetForceScan(false)
 	defer memctrl.SetForceScan(false)
+	defer dma.SetForceScan(false)
+	defer sim.SetForcePoll(false)
 	memctrl.SetDebugTrace(func(ch int, now sim.Cycle, id uint64, kind byte) {
 		tr.cmds = append(tr.cmds, tracedCmd{ch, now, id, kind})
 	})
 	dma.SetDebugInject(func(now sim.Cycle, src int, id uint64, addr uint64) {
 		tr.injs = append(tr.injs, tracedInj{now, src, id, addr})
+	})
+	dma.SetDebugWake(func(src int, at sim.Cycle, cause byte) {
+		tr.wakes = append(tr.wakes, tracedWake{src, at, cause})
 	})
 	noc.SetDebugGrant(func(name string, now sim.Cycle, port, out int, id uint64) {
 		tr.grants = append(tr.grants, tracedGrant{name, now, port, out, id})
@@ -73,11 +112,12 @@ func runTraced(policy sara.Policy, skip, refresh bool, cycles sim.Cycle) traces 
 	})
 	defer memctrl.SetDebugTrace(nil)
 	defer dma.SetDebugInject(nil)
+	defer dma.SetDebugWake(nil)
 	defer noc.SetDebugGrant(nil)
 	defer noc.SetDebugCredit(nil)
 	sys := sara.Build(sara.Camcorder(sara.CaseA,
 		sara.WithPolicy(policy), sara.WithRefresh(refresh)))
-	sys.Kernel().SetIdleSkip(skip)
+	sys.Kernel().SetIdleSkip(!stepped)
 	sys.Run(cycles)
 	return tr
 }
@@ -123,8 +163,34 @@ func compareTraces(t *testing.T, ref, fast traces) {
 				i, ref.credits[i], fast.credits[i])
 		}
 	}
+	if len(ref.wakes) != len(fast.wakes) {
+		t.Fatalf("DMA wake counts differ: %d vs %d", len(ref.wakes), len(fast.wakes))
+	}
+	for i := range ref.wakes {
+		if ref.wakes[i] != fast.wakes[i] {
+			t.Fatalf("DMA wake %d differs: reference %+v, idle-skipping %+v",
+				i, ref.wakes[i], fast.wakes[i])
+		}
+	}
 	if len(ref.cmds) == 0 || len(ref.injs) == 0 || len(ref.grants) == 0 || len(ref.credits) == 0 {
 		t.Fatal("empty traces; the system did not run")
+	}
+	// The wake stream must exercise both re-arm causes: completion
+	// deliveries and port credit returns.
+	var deliveries, credits int
+	for _, w := range ref.wakes {
+		switch w.cause {
+		case 'D':
+			deliveries++
+		case 'C':
+			credits++
+		default:
+			t.Fatalf("unknown DMA wake cause %q", w.cause)
+		}
+	}
+	if deliveries == 0 || credits == 0 {
+		t.Fatalf("DMA wake trace causes D/C = %d/%d; the workload should exercise both re-arm edges",
+			deliveries, credits)
 	}
 	// The stream must contain genuine credit returns on both sides of the
 	// boundary: full-port pops and full-queue controller releases.
@@ -145,18 +211,19 @@ func compareTraces(t *testing.T, ref, fast traces) {
 	}
 }
 
-// TestIdleSkipTraceEquivalence asserts that the idle-skipping kernel
-// issues the exact same DRAM command stream, DMA injection stream and NoC
+// TestIdleSkipTraceEquivalence asserts that the idle-skipping kernel —
+// wake heap and linear-poll reference alike — issues the exact same DRAM
+// command stream, DMA injection stream, injection-wake stream and NoC
 // arbitration grant stream — same transactions, same cycles, same order —
-// as the cycle-stepped reference.
+// as the cycle-stepped force-scan reference.
 func TestIdleSkipTraceEquivalence(t *testing.T) {
 	const horizon = 60000
 	for _, policy := range []sara.Policy{sara.QoS, sara.FRFCFS} {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
-			compareTraces(t,
-				runTraced(policy, false, false, horizon),
-				runTraced(policy, true, false, horizon))
+			ref := runTraced(policy, traceStepped, false, horizon)
+			compareTraces(t, ref, runTraced(policy, traceSkipHeap, false, horizon))
+			compareTraces(t, ref, runTraced(policy, traceSkipPoll, false, horizon))
 		})
 	}
 }
@@ -170,8 +237,8 @@ func TestIdleSkipTraceEquivalenceRefresh(t *testing.T) {
 	for _, policy := range []sara.Policy{sara.QoS, sara.FRFCFS} {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
-			ref := runTraced(policy, false, true, horizon)
-			fast := runTraced(policy, true, true, horizon)
+			ref := runTraced(policy, traceStepped, true, horizon)
+			fast := runTraced(policy, traceSkipHeap, true, horizon)
 			compareTraces(t, ref, fast)
 			refs := 0
 			for _, c := range ref.cmds {
