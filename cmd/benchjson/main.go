@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"strings"
 )
@@ -107,37 +106,52 @@ func parseBenchLine(line string) (Bench, bool) {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchjson: ")
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	in := io.Reader(os.Stdin)
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+// run is main without the process plumbing, so tests can drive the CLI
+// and assert output and exit codes. 0 = success, 1 = bad input or write
+// failure, 2 = usage error.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
 	}
 	rep, err := parse(in)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
 	if len(rep.Benchmarks) == 0 {
-		log.Fatal("no benchmark lines in input")
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines in input")
+		return 1
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
-		return
+		stdout.Write(enc)
+		return 0
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
+	return 0
 }

@@ -66,3 +66,52 @@ func TestParseRejectsGarbageQuietly(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks from garbage", len(rep.Benchmarks))
 	}
 }
+
+func TestRunStdinToStdout(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("document holds %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, strings.NewReader("no benches here\n"), &out, &errb); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "no benchmark lines") {
+		t.Errorf("stderr lacks the empty-input diagnosis:\n%s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("bad input still wrote a document: %q", out.String())
+	}
+}
+
+func TestRunRejectsMissingFile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"/no/such/bench.out"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-no-such-flag"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunRejectsUnwritableOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-o", "/no/such/dir/bench.json"}, strings.NewReader(sample), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}

@@ -8,57 +8,97 @@
 // per-core minimum NPI for Figs. 5/6/9, the image processor's
 // priority-level distribution per DRAM frequency for Fig. 7, and the
 // average-bandwidth bars for Fig. 8.
+//
+// Crash safety: -timeout and -max-cycles bound each run with the kernel
+// watchdog; -journal checkpoints completed runs of the supervised
+// figures (5, 6, 9) to a JSONL file and -resume serves them from it on a
+// rerun. A run that panics or trips a budget prints its failure and
+// rerun command in place of its table rows, the remaining runs complete,
+// and the exit code reports the damage.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	"sara"
 	"sara/internal/exp"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("saraexp: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fig := flag.Int("fig", 0, "figure to regenerate (5..9); 0 = all")
-	scale := flag.Int("scale", 256, "time-scale divisor (larger = faster, coarser)")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	refresh := flag.Bool("refresh", false, "enable LPDDR4 refresh (tREFI/tRFC) in every run")
-	flag.Parse()
+// run is main without the process plumbing, so tests can drive the CLI
+// and assert output and exit codes. 0 = success, 1 = a run failed,
+// 2 = usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("saraexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure to regenerate (5..9); 0 = all")
+	scale := fs.Int("scale", 256, "time-scale divisor (larger = faster, coarser)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	refresh := fs.Bool("refresh", false, "enable LPDDR4 refresh (tREFI/tRFC) in every run")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget per run (0 = unbounded)")
+	maxCycles := fs.Uint64("max-cycles", 0, "executed-cycle budget per run (0 = unbounded)")
+	retries := fs.Int("retries", 0, "rerun a failed run up to this many extra times")
+	journal := fs.String("journal", "", "JSONL checkpoint journal for the supervised figures")
+	resume := fs.Bool("resume", false, "with -journal: serve already-completed runs from the journal")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *fig != 0 && (*fig < 5 || *fig > 9) {
+		fmt.Fprintf(stderr, "saraexp: unknown figure %d (want 5..9)\n", *fig)
+		fs.Usage()
+		return 2
+	}
 
-	opt := sara.ExpOptions{ScaleDiv: *scale, Seed: *seed, Refresh: *refresh}
+	opt := sara.ExpOptions{
+		ScaleDiv:  *scale,
+		Seed:      *seed,
+		Refresh:   *refresh,
+		Timeout:   *timeout,
+		MaxCycles: *maxCycles,
+		Retries:   *retries,
+		Journal:   *journal,
+		Resume:    *resume,
+	}
 
+	failed := 0
+	report := func(runs []sara.PolicyRun) {
+		for _, r := range runs {
+			fmt.Fprint(stdout, exp.FormatRun(r))
+			if r.Err != nil {
+				failed++
+			}
+		}
+	}
 	runAll := *fig == 0
 	if runAll || *fig == 5 {
-		fmt.Println("=== Fig. 5: NPI of critical cores, test case A, one frame ===")
-		for _, r := range sara.Fig5(opt) {
-			fmt.Print(exp.FormatRun(r))
-		}
+		fmt.Fprintln(stdout, "=== Fig. 5: NPI of critical cores, test case A, one frame ===")
+		report(sara.Fig5(opt))
 	}
 	if runAll || *fig == 6 {
-		fmt.Println("=== Fig. 6: NPI of critical cores, test case B, one frame ===")
-		for _, r := range sara.Fig6(opt) {
-			fmt.Print(exp.FormatRun(r))
-		}
+		fmt.Fprintln(stdout, "=== Fig. 6: NPI of critical cores, test case B, one frame ===")
+		report(sara.Fig6(opt))
 	}
 	if runAll || *fig == 7 {
-		fmt.Println("=== Fig. 7: Image Proc. priority distribution vs DRAM frequency ===")
-		fmt.Print(exp.FormatFig7(sara.Fig7(opt)))
+		fmt.Fprintln(stdout, "=== Fig. 7: Image Proc. priority distribution vs DRAM frequency ===")
+		fmt.Fprint(stdout, exp.FormatFig7(sara.Fig7(opt)))
 	}
 	if runAll || *fig == 8 {
-		fmt.Println("=== Fig. 8: average DRAM bandwidth by scheduling policy ===")
-		fmt.Print(exp.FormatFig8(sara.Fig8(opt)))
+		fmt.Fprintln(stdout, "=== Fig. 8: average DRAM bandwidth by scheduling policy ===")
+		fmt.Fprint(stdout, exp.FormatFig8(sara.Fig8(opt)))
 	}
 	if runAll || *fig == 9 {
-		fmt.Println("=== Fig. 9: FR-FCFS vs QoS-RB, test case A ===")
-		for _, r := range sara.Fig9(opt) {
-			fmt.Print(exp.FormatRun(r))
-		}
+		fmt.Fprintln(stdout, "=== Fig. 9: FR-FCFS vs QoS-RB, test case A ===")
+		report(sara.Fig9(opt))
 	}
-	if !runAll && (*fig < 5 || *fig > 9) {
-		log.Fatalf("unknown figure %d (want 5..9)", *fig)
+	if failed > 0 {
+		fmt.Fprintf(stderr, "saraexp: %d run(s) failed; rerun commands above\n", failed)
+		return 1
 	}
+	return 0
 }

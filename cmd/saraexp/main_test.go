@@ -1,0 +1,68 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUnknownFigureIsUsageError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-fig", "4"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown figure 4") {
+		t.Errorf("stderr lacks the diagnosis:\n%s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("usage error wrote to stdout (figures ran anyway): %q", out.String())
+	}
+}
+
+func TestUnknownFlagIsUsageError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+// TestFig5JournalResume regenerates Fig. 5 twice against one journal;
+// the resumed rerun must print byte-identical tables.
+func TestFig5JournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "fig5.jsonl")
+	base := []string{"-fig", "5", "-scale", "2048", "-journal", journal}
+
+	var first, errb strings.Builder
+	if code := run(base, &first, &errb); code != 0 {
+		t.Fatalf("first run: exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(first.String(), "=== Fig. 5") {
+		t.Fatalf("missing figure header:\n%s", first.String())
+	}
+
+	var second strings.Builder
+	if code := run(append(base, "-resume"), &second, &errb); code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr:\n%s", code, errb.String())
+	}
+	if first.String() != second.String() {
+		t.Errorf("resumed Fig. 5 not byte-identical:\nfirst:\n%s\nsecond:\n%s",
+			first.String(), second.String())
+	}
+}
+
+// TestMaxCyclesFailureDegradesGracefully trips the cycle budget on every
+// Fig. 5 run and asserts the command reports each failure with its rerun
+// command, keeps going, and exits 1.
+func TestMaxCyclesFailureDegradesGracefully(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-fig", "5", "-scale", "2048", "-max-cycles", "100"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	if n := strings.Count(out.String(), "Repro: go run ./cmd/sarasweep -sweep cell"); n != 4 {
+		t.Errorf("want 4 failed runs with Repro lines, got %d:\n%s", n, out.String())
+	}
+	if !strings.Contains(errb.String(), "4 run(s) failed") {
+		t.Errorf("stderr lacks the failure tally:\n%s", errb.String())
+	}
+}

@@ -10,7 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"sort"
 
@@ -22,17 +22,25 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sarasim: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	caseName := flag.String("case", "A", "test case: A or B (Table 1)")
-	policyName := flag.String("policy", "qos", "arbitration policy: fcfs|rr|frfcfs|framerate|qos|qos-rb")
-	frames := flag.Int("frames", 1, "measured frame periods (after 1 warmup frame)")
-	scale := flag.Int("scale", 256, "time-scale divisor (larger = faster, coarser)")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	refresh := flag.Bool("refresh", false, "enable LPDDR4 refresh (tREFI/tRFC)")
-	csvPath := flag.String("csv", "", "write per-DMA NPI time series to this CSV file")
-	flag.Parse()
+// run is main without the process plumbing, so tests can drive the CLI
+// and assert output and exit codes. 0 = success, 1 = the run or an
+// output write failed, 2 = usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sarasim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	caseName := fs.String("case", "A", "test case: A or B (Table 1)")
+	policyName := fs.String("policy", "qos", "arbitration policy: fcfs|rr|frfcfs|framerate|qos|qos-rb")
+	frames := fs.Int("frames", 1, "measured frame periods (after 1 warmup frame)")
+	scale := fs.Int("scale", 256, "time-scale divisor (larger = faster, coarser)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	refresh := fs.Bool("refresh", false, "enable LPDDR4 refresh (tREFI/tRFC)")
+	csvPath := fs.String("csv", "", "write per-DMA NPI time series to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	tc := sara.CaseA
 	switch *caseName {
@@ -40,42 +48,49 @@ func main() {
 	case "B", "b":
 		tc = sara.CaseB
 	default:
-		log.Fatalf("unknown case %q (want A or B)", *caseName)
+		fmt.Fprintf(stderr, "sarasim: unknown case %q (want A or B)\n", *caseName)
+		return 2
 	}
 	policy, err := memctrl.ParsePolicy(*policyName)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "sarasim: %v\n", err)
+		return 2
 	}
 
-	run := sara.RunPolicy(tc, policy, sara.ExpOptions{
+	res := sara.RunPolicy(tc, policy, sara.ExpOptions{
 		ScaleDiv:      *scale,
 		MeasureFrames: *frames,
 		Seed:          *seed,
 		Refresh:       *refresh,
 	})
-	fmt.Print(exp.FormatRun(run))
-	if run.Refreshes > 0 {
+	fmt.Fprint(stdout, exp.FormatRun(res))
+	if res.Err != nil {
+		return 1
+	}
+	if res.Refreshes > 0 {
 		// Split each below-target core's shortfall between the refresh
 		// cadence and contention, so "the dip is tREFI, not the policy"
 		// is visible at a glance. Cores at or above the pass threshold
 		// are healthy by the tool's own criterion and get no line.
-		for _, core := range run.CriticalCores {
-			npi := run.MinNPI[core]
+		for _, core := range res.CriticalCores {
+			npi := res.MinNPI[core]
 			if npi >= exp.PassNPI {
 				continue
 			}
-			ref, cont := meter.StallAttribution(npi, run.RefreshDuty)
-			fmt.Printf("  %-14s shortfall %.3f = refresh %.3f + contention %.3f\n",
+			ref, cont := meter.StallAttribution(npi, res.RefreshDuty)
+			fmt.Fprintf(stdout, "  %-14s shortfall %.3f = refresh %.3f + contention %.3f\n",
 				core, ref+cont, ref, cont)
 		}
 	}
 
 	if *csvPath != "" {
-		if err := writeCSV(*csvPath, run); err != nil {
-			log.Fatal(err)
+		if err := writeCSV(*csvPath, res); err != nil {
+			fmt.Fprintf(stderr, "sarasim: %v\n", err)
+			return 1
 		}
-		fmt.Printf("wrote %s\n", *csvPath)
+		fmt.Fprintf(stdout, "wrote %s\n", *csvPath)
 	}
+	return 0
 }
 
 func writeCSV(path string, run sara.PolicyRun) error {

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBadCaseAndPolicyAreUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-case", "Z"}, &out, &errb); code != 2 {
+		t.Fatalf("bad case: exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown case "Z"`) {
+		t.Errorf("stderr lacks the case diagnosis:\n%s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-policy", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad policy: exit code %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit code %d, want 2", code)
+	}
+}
+
+func TestRunWritesReportAndCSV(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "npi.csv")
+	var out, errb strings.Builder
+	code := run([]string{"-case", "A", "-policy", "fcfs", "-scale", "2048", "-csv", csv}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "case A / policy fcfs") {
+		t.Errorf("report lacks run header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+csv) {
+		t.Errorf("report lacks CSV confirmation:\n%s", out.String())
+	}
+}
+
+func TestUnwritableCSVFails(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-scale", "2048", "-csv", filepath.Join(t.TempDir(), "no", "such", "dir.csv")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}

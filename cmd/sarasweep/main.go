@@ -1,7 +1,8 @@
 // Command sarasweep runs the design-space sweeps DESIGN.md calls out as
 // ablations: Policy 2's row-buffer threshold delta, the priority
-// quantization k, the aging limit T, the refresh on/off comparison and a
-// seed fan-out with confidence intervals.
+// quantization k, the aging limit T, the refresh on/off comparison, a
+// seed fan-out with confidence intervals, the scaled-SoC cost curve —
+// and "cell", the single-cell runner the supervisor's Repro lines name.
 //
 //	sarasweep -sweep delta
 //	sarasweep -sweep bits
@@ -9,90 +10,214 @@
 //	sarasweep -sweep refresh
 //	sarasweep -sweep seeds
 //	sarasweep -sweep scale
+//	sarasweep -sweep cell -case A -policy qos -seed 3
 //
 // The -refresh flag enables LPDDR4 refresh in the delta/bits/aging/seeds
 // and scale sweeps so any ablation can be re-run under refresh pressure.
+//
+// Crash safety: -timeout and -max-cycles bound each run with the kernel
+// watchdog (a tripped run reports a DeadlockError with its wake-state
+// dump instead of spinning); -journal appends completed cells of the
+// seeds and cell sweeps to a JSONL checkpoint, and -resume serves
+// journaled cells from it, so an interrupted fan-out picks up where it
+// died. All four are zero-cost when left at their defaults.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"sara"
 	"sara/internal/config"
+	"sara/internal/core"
 	"sara/internal/exp"
 	"sara/internal/memctrl"
 	"sara/internal/txn"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sarasweep: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	sweep := flag.String("sweep", "delta", "sweep to run: delta|bits|aging|refresh|seeds")
-	scale := flag.Int("scale", 256, "time-scale divisor")
-	refresh := flag.Bool("refresh", false, "enable LPDDR4 refresh (tREFI/tRFC) in the sweep")
-	flag.Parse()
+// cliOptions carries one invocation's parsed flags to the sweep funcs.
+type cliOptions struct {
+	opt  exp.Options // fidelity + supervisor budgets (timeout, journal, ...)
+	cell exp.Cell    // the -sweep cell target
+}
 
-	switch *sweep {
-	case "delta":
-		sweepDelta(*scale, *refresh)
-	case "bits":
-		sweepBits(*scale, *refresh)
-	case "aging":
-		sweepAging(*scale, *refresh)
-	case "refresh":
-		sweepRefresh(*scale)
-	case "seeds":
-		sweepSeeds(*scale, *refresh)
-	case "scale":
-		sweepScale(*scale, *refresh)
-	default:
-		log.Fatalf("unknown sweep %q", *sweep)
+// sweeps is the dispatch table; -sweep is validated against it up front.
+var sweeps = map[string]func(o cliOptions, w io.Writer) error{
+	"delta":   sweepDelta,
+	"bits":    sweepBits,
+	"aging":   sweepAging,
+	"refresh": sweepRefresh,
+	"seeds":   sweepSeeds,
+	"scale":   sweepScale,
+	"cell":    sweepCell,
+}
+
+// sweepNames lists the valid -sweep values for the usage text.
+func sweepNames() string {
+	names := make([]string, 0, len(sweeps))
+	for n := range sweeps {
+		names = append(names, n)
 	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
+// run is main without the process plumbing, so tests can drive the CLI
+// and assert output and exit codes. 0 = success, 1 = a run failed,
+// 2 = usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sarasweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sweep := fs.String("sweep", "delta", "sweep to run: "+sweepNames())
+	scale := fs.Int("scale", 256, "time-scale divisor")
+	refresh := fs.Bool("refresh", false, "enable LPDDR4 refresh (tREFI/tRFC) in the sweep")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget per run; overruns abort with a watchdog diagnosis (0 = unbounded)")
+	maxCycles := fs.Uint64("max-cycles", 0, "executed-cycle budget per run (0 = unbounded)")
+	retries := fs.Int("retries", 0, "rerun a failed cell up to this many extra times (seeds/cell sweeps)")
+	journal := fs.String("journal", "", "JSONL checkpoint journal for the seeds/cell sweeps")
+	resume := fs.Bool("resume", false, "with -journal: serve already-completed cells from the journal")
+	caseName := fs.String("case", "A", "cell sweep: test case, A or B")
+	policyName := fs.String("policy", "qos", "cell sweep: arbitration policy (fcfs|rr|frfcfs|framerate|qos|qos-rb)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	freq := fs.Int("freq", 0, "cell sweep: DRAM data rate in MT/s (0 = case default)")
+	socScale := fs.Int("soc-scale", 1, "cell sweep: SoC scale factor (channels and DMAs)")
+	saturated := fs.Bool("saturated", false, "cell sweep: bandwidth-bound saturated variant")
+	warmup := fs.Int("warmup", 0, "cell sweep: warmup frames before measurement")
+	measure := fs.Int("measure", 1, "cell sweep: measured frames")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fn, ok := sweeps[*sweep]
+	if !ok {
+		fmt.Fprintf(stderr, "sarasweep: unknown sweep %q (want %s)\n", *sweep, sweepNames())
+		fs.Usage()
+		return 2
+	}
+	var tc config.Case
+	switch *caseName {
+	case "A", "a":
+		tc = config.CaseA
+	case "B", "b":
+		tc = config.CaseB
+	default:
+		fmt.Fprintf(stderr, "sarasweep: unknown case %q (want A or B)\n", *caseName)
+		return 2
+	}
+	policy, err := memctrl.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintf(stderr, "sarasweep: %v\n", err)
+		return 2
+	}
+
+	o := cliOptions{
+		opt: exp.Options{
+			ScaleDiv:      *scale,
+			Refresh:       *refresh,
+			Seed:          *seed,
+			WarmupFrames:  *warmup,
+			MeasureFrames: *measure,
+			Timeout:       *timeout,
+			MaxCycles:     *maxCycles,
+			Retries:       *retries,
+			Journal:       *journal,
+			Resume:        *resume,
+		},
+		cell: exp.Cell{
+			Case:         tc,
+			Policy:       policy,
+			Seed:         *seed,
+			DataRateMTps: *freq,
+			Scale:        *socScale,
+			Saturated:    *saturated,
+		},
+	}
+	if err := fn(o, stdout); err != nil {
+		fmt.Fprintf(stderr, "sarasweep: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// build constructs cfg's system with the -timeout / -max-cycles budgets
+// armed (a no-op watchdog-free build when neither is set).
+func (o cliOptions) build(cfg core.Config) *core.System {
+	sys := sara.Build(cfg)
+	if wd := o.opt.Watchdog(); wd != nil {
+		sys.SetWatchdog(wd)
+	}
+	return sys
+}
+
+// runFrames advances sys by k frames, through the checked entry point
+// when a budget is armed and the plain zero-overhead run otherwise.
+func (o cliOptions) runFrames(sys *core.System, k int) error {
+	if o.opt.Timeout <= 0 && o.opt.MaxCycles == 0 {
+		sys.RunFrames(k)
+		return nil
+	}
+	return sys.RunFramesChecked(k)
+}
+
+// worstNPI is the scalar the ablation tables report: the minimum of the
+// per-core minimum NPI over the measured window.
+func worstNPI(sys *core.System, from sara.Cycle) float64 {
+	worst := 1e9
+	for _, v := range sys.MinNPIByCore(from) {
+		if v < worst {
+			worst = v
+		}
+	}
+	return worst
 }
 
 // sweepDelta varies Policy 2's threshold: higher delta favors row hits
 // (bandwidth) at growing risk to urgent transactions (worst-case NPI).
-func sweepDelta(scale int, refresh bool) {
-	fmt.Println("delta  bandwidth(GB/s)  worst min NPI (critical cores)")
+func sweepDelta(o cliOptions, w io.Writer) error {
+	fmt.Fprintln(w, "delta  bandwidth(GB/s)  worst min NPI (critical cores)")
 	for delta := 0; delta <= 8; delta += 2 {
 		cfg := sara.Saturated(
 			sara.WithPolicy(memctrl.QoSRB),
-			sara.WithScaleDiv(scale),
+			sara.WithScaleDiv(o.opt.ScaleDiv),
 			sara.WithDelta(txn.Priority(min(delta, 7))),
-			sara.WithRefresh(refresh))
+			sara.WithRefresh(o.opt.Refresh))
 		if delta == 8 {
 			// delta = 8 means "row hits always win" (no priority override).
 			cfg.Delta = 8
 		}
-		sys := sara.Build(cfg)
-		sys.RunFrames(1)
+		sys := o.build(cfg)
+		if err := o.runFrames(sys, 1); err != nil {
+			return err
+		}
 		from := sys.Now()
 		before := sys.DRAM().Stats()
-		sys.RunFrames(1)
-		worst := 1e9
-		for _, v := range sys.MinNPIByCore(from) {
-			if v < worst {
-				worst = v
-			}
+		if err := o.runFrames(sys, 1); err != nil {
+			return err
 		}
-		fmt.Printf("%5d  %14.2f  %.3f\n", delta,
-			sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()), worst)
+		fmt.Fprintf(w, "%5d  %14.2f  %.3f\n", delta,
+			sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()), worstNPI(sys, from))
 	}
+	return nil
 }
 
 // sweepBits varies the priority quantization k in 1..4 under Policy 1.
-func sweepBits(scale int, refresh bool) {
-	fmt.Println("bits  levels  worst min NPI (case A, QoS)")
+func sweepBits(o cliOptions, w io.Writer) error {
+	fmt.Fprintln(w, "bits  levels  worst min NPI (case A, QoS)")
 	for bits := 1; bits <= 4; bits++ {
 		cfg := sara.Camcorder(sara.CaseA,
 			sara.WithPolicy(memctrl.QoS),
-			sara.WithScaleDiv(scale),
+			sara.WithScaleDiv(o.opt.ScaleDiv),
 			sara.WithPriorityBits(bits),
-			sara.WithRefresh(refresh))
+			sara.WithRefresh(o.opt.Refresh))
 		// Per-core LUT overrides are sized for 8 levels; drop them when
 		// sweeping other quantizations.
 		if bits != 3 {
@@ -100,80 +225,77 @@ func sweepBits(scale int, refresh bool) {
 				cfg.DMAs[i].LUTBounds = nil
 			}
 		}
-		sys := sara.Build(cfg)
-		sys.RunFrames(1)
-		from := sys.Now()
-		sys.RunFrames(1)
-		worst := 1e9
-		for _, v := range sys.MinNPIByCore(from) {
-			if v < worst {
-				worst = v
-			}
+		sys := o.build(cfg)
+		if err := o.runFrames(sys, 1); err != nil {
+			return err
 		}
-		fmt.Printf("%4d  %6d  %.3f\n", bits, 1<<bits, worst)
+		from := sys.Now()
+		if err := o.runFrames(sys, 1); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%4d  %6d  %.3f\n", bits, 1<<bits, worstNPI(sys, from))
 	}
+	return nil
 }
 
 // sweepAging varies the starvation limit T under Policy 1.
-func sweepAging(scale int, refresh bool) {
-	fmt.Println("agingT  worst min NPI (case A, QoS)")
+func sweepAging(o cliOptions, w io.Writer) error {
+	fmt.Fprintln(w, "agingT  worst min NPI (case A, QoS)")
 	for _, t := range []uint64{1000, 10000, 100000, 0} {
 		cfg := sara.Camcorder(sara.CaseA,
 			sara.WithPolicy(memctrl.QoS),
-			sara.WithScaleDiv(scale),
+			sara.WithScaleDiv(o.opt.ScaleDiv),
 			sara.WithAgingT(sara.Cycle(t)),
-			sara.WithRefresh(refresh))
-		sys := sara.Build(cfg)
-		sys.RunFrames(1)
+			sara.WithRefresh(o.opt.Refresh))
+		sys := o.build(cfg)
+		if err := o.runFrames(sys, 1); err != nil {
+			return err
+		}
 		from := sys.Now()
-		sys.RunFrames(1)
-		worst := 1e9
-		for _, v := range sys.MinNPIByCore(from) {
-			if v < worst {
-				worst = v
-			}
+		if err := o.runFrames(sys, 1); err != nil {
+			return err
 		}
 		label := fmt.Sprint(t)
 		if t == 0 {
 			label = "off"
 		}
-		fmt.Printf("%6s  %.3f\n", label, worst)
+		fmt.Fprintf(w, "%6s  %.3f\n", label, worstNPI(sys, from))
 	}
+	return nil
 }
 
 // sweepRefresh compares the saturated workload with refresh off and on:
 // how much bandwidth the tREFI cadence steals and what it costs the
 // worst-case NPI under both row-aware policies.
-func sweepRefresh(scale int) {
-	fmt.Println("policy     refresh  bandwidth(GB/s)  refreshes  blackout%  worst min NPI")
+func sweepRefresh(o cliOptions, w io.Writer) error {
+	fmt.Fprintln(w, "policy     refresh  bandwidth(GB/s)  refreshes  blackout%  worst min NPI")
 	for _, policy := range []memctrl.PolicyKind{memctrl.QoS, memctrl.QoSRB} {
 		for _, on := range []bool{false, true} {
 			cfg := sara.Saturated(
 				sara.WithPolicy(policy),
-				sara.WithScaleDiv(scale),
+				sara.WithScaleDiv(o.opt.ScaleDiv),
 				sara.WithRefresh(on))
-			sys := sara.Build(cfg)
-			sys.RunFrames(1)
+			sys := o.build(cfg)
+			if err := o.runFrames(sys, 1); err != nil {
+				return err
+			}
 			from := sys.Now()
 			before := sys.DRAM().Stats()
-			sys.RunFrames(1)
-			worst := 1e9
-			for _, v := range sys.MinNPIByCore(from) {
-				if v < worst {
-					worst = v
-				}
+			if err := o.runFrames(sys, 1); err != nil {
+				return err
 			}
 			label := "off"
 			if on {
 				label = "on"
 			}
-			fmt.Printf("%-9s  %-7s  %15.2f  %9d  %8.1f%%  %.3f\n",
+			fmt.Fprintf(w, "%-9s  %-7s  %15.2f  %9d  %8.1f%%  %.3f\n",
 				policy, label,
 				sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()),
 				sys.DRAM().Stats().Totals().Refreshes,
-				100*sys.DRAM().RefreshDuty(sys.Now()), worst)
+				100*sys.DRAM().RefreshDuty(sys.Now()), worstNPI(sys, from))
 		}
 	}
+	return nil
 }
 
 // sweepScale grows the saturated workload to 2x and 4x channels and
@@ -182,36 +304,66 @@ func sweepRefresh(scale int) {
 // and the routers' grant dormancy keep the per-channel scheduling cost
 // near-flat as the SoC grows, instead of re-inflating with total queue
 // depth.
-func sweepScale(scale int, refresh bool) {
-	fmt.Println("scale  channels  DMAs  bandwidth(GB/s)  ns/cycle  ns/cycle/channel")
+func sweepScale(o cliOptions, w io.Writer) error {
+	fmt.Fprintln(w, "scale  channels  DMAs  bandwidth(GB/s)  ns/cycle  ns/cycle/channel")
 	for _, factor := range []int{1, 2, 4} {
 		cfg := sara.ScaledSaturated(factor,
-			sara.WithScaleDiv(scale),
-			sara.WithRefresh(refresh))
-		sys := sara.Build(cfg)
-		sys.RunFrames(1) // reach the saturated steady state
+			sara.WithScaleDiv(o.opt.ScaleDiv),
+			sara.WithRefresh(o.opt.Refresh))
+		sys := o.build(cfg)
+		if err := o.runFrames(sys, 1); err != nil { // reach the saturated steady state
+			return err
+		}
 		from := sys.Now()
 		before := sys.DRAM().Stats()
 		start := time.Now()
-		sys.RunFrames(1)
+		if err := o.runFrames(sys, 1); err != nil {
+			return err
+		}
 		elapsed := time.Since(start)
 		cycles := float64(sys.Now() - from)
 		nsPerCycle := float64(elapsed.Nanoseconds()) / cycles
 		ch := cfg.DRAM.Geometry.Channels
-		fmt.Printf("%4dx  %8d  %4d  %15.2f  %8.0f  %16.0f\n",
+		fmt.Fprintf(w, "%4dx  %8d  %4d  %15.2f  %8.0f  %16.0f\n",
 			factor, ch, len(cfg.DMAs),
 			sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()),
 			nsPerCycle, nsPerCycle/float64(ch))
 	}
+	return nil
 }
 
-// sweepSeeds fans one (case, policy) across seeds through the parallel
-// harness and reports the across-seed confidence intervals.
-func sweepSeeds(scale int, refresh bool) {
+// sweepSeeds fans one (case, policy) across seeds through the supervised
+// harness and reports the across-seed confidence intervals. Failed cells
+// are reported with their rerun command and fail the sweep's exit code
+// after the surviving cells' summary prints.
+func sweepSeeds(o cliOptions, w io.Writer) error {
 	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
-	opt := exp.Options{ScaleDiv: scale, Refresh: refresh}
+	var failed int
 	for _, policy := range []memctrl.PolicyKind{memctrl.QoS, memctrl.FCFS} {
-		runs := exp.RunSeeds(config.CaseA, policy, seeds, opt)
-		fmt.Print(exp.FormatSeedSummary(runs))
+		runs := exp.RunSeeds(config.CaseA, policy, seeds, o.opt)
+		fmt.Fprint(w, exp.FormatSeedSummary(runs))
+		for _, re := range exp.Failed(runs) {
+			failed++
+			fmt.Fprintln(w, re.Error())
+		}
 	}
+	if failed > 0 {
+		return fmt.Errorf("%d cell(s) failed", failed)
+	}
+	return nil
+}
+
+// sweepCell runs the single cell the -case/-policy/-seed/... flags
+// describe — the command every supervisor Repro line rebuilds a failure
+// with.
+func sweepCell(o cliOptions, w io.Writer) error {
+	runs, err := exp.RunCells([]exp.Cell{o.cell}, o.opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, exp.FormatRun(runs[0]))
+	if runs[0].Err != nil {
+		return runs[0].Err
+	}
+	return nil
 }

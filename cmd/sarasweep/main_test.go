@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastCell keeps CLI-level simulations cheap: a high time-scale divisor
+// shortens the frame while driving the exact production code path.
+var fastCell = []string{"-sweep", "cell", "-case", "A", "-policy", "fcfs", "-scale", "2048"}
+
+func TestUnknownSweepIsUsageError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-sweep", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown sweep "bogus"`) {
+		t.Errorf("stderr lacks the unknown-sweep diagnosis:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "Usage of sarasweep") {
+		t.Errorf("stderr lacks usage text:\n%s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("usage error wrote to stdout: %q", out.String())
+	}
+}
+
+func TestUnknownCaseAndPolicyAreUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-sweep", "cell", "-case", "Z"}, &out, &errb); code != 2 {
+		t.Fatalf("bad case: exit code %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-sweep", "cell", "-policy", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad policy: exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown policy") {
+		t.Errorf("stderr lacks policy diagnosis:\n%s", errb.String())
+	}
+}
+
+func TestUnknownFlagIsUsageError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestCellRunSucceeds(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(fastCell, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "case A / policy fcfs") {
+		t.Errorf("cell output lacks the run header:\n%s", out.String())
+	}
+}
+
+func TestCellMaxCyclesFailureCarriesRepro(t *testing.T) {
+	var out, errb strings.Builder
+	args := append([]string{"-max-cycles", "100"}, fastCell...)
+	if code := run(args, &out, &errb); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "cycle budget exceeded") {
+		t.Errorf("stderr lacks the watchdog diagnosis:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "Repro: go run ./cmd/sarasweep -sweep cell") {
+		t.Errorf("stderr lacks the standardized Repro line:\n%s", errb.String())
+	}
+}
+
+// TestCellJournalResume drives the journal through the CLI: the second,
+// resumed invocation serves the cell from the journal and prints exactly
+// the bytes the first produced.
+func TestCellJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "cli.jsonl")
+	args := append([]string{"-journal", journal}, fastCell...)
+
+	var first, errb strings.Builder
+	if code := run(args, &first, &errb); code != 0 {
+		t.Fatalf("first run: exit %d, stderr:\n%s", code, errb.String())
+	}
+	if st, err := os.Stat(journal); err != nil || st.Size() == 0 {
+		t.Fatalf("first run left no journal: %v", err)
+	}
+
+	var second strings.Builder
+	args = append([]string{"-resume"}, args...)
+	if code := run(args, &second, &errb); code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr:\n%s", code, errb.String())
+	}
+	if first.String() != second.String() {
+		t.Errorf("resumed output not byte-identical:\nfirst:\n%s\nsecond:\n%s",
+			first.String(), second.String())
+	}
+}

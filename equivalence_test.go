@@ -24,6 +24,7 @@ func TestIdleSkipEquivalence(t *testing.T) {
 	for _, policy := range []sara.Policy{sara.QoS, sara.QoSRB, sara.FCFS, sara.RR, sara.FrameRate, sara.FRFCFS} {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
+			reproOnFailure(t, "TestIdleSkipEquivalence/"+policy.String())
 			ref := buildCaseA(policy, false)
 			fast := buildCaseA(policy, true)
 
@@ -114,6 +115,7 @@ func TestIdleSkipEquivalenceRefresh(t *testing.T) {
 	for _, policy := range []sara.Policy{sara.QoS, sara.QoSRB, sara.FRFCFS} {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
+			reproOnFailure(t, "TestIdleSkipEquivalenceRefresh/"+policy.String())
 			ref := build(policy, false)
 			fast := build(policy, true)
 			ref.RunFrames(2)
@@ -162,6 +164,7 @@ func TestIdleSkipEquivalenceRefresh(t *testing.T) {
 // data behind the paper's figures — to be bit-identical between the two
 // execution modes.
 func TestIdleSkipEquivalenceSeries(t *testing.T) {
+	reproOnFailure(t, "TestIdleSkipEquivalenceSeries")
 	ref := buildCaseA(sara.QoS, false)
 	fast := buildCaseA(sara.QoS, true)
 	ref.RunFrames(1)

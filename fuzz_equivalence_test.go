@@ -242,6 +242,7 @@ func TestRandomizedSkipVsStepDifferential(t *testing.T) {
 		seed := sim.NewRand(baseSeed).Fork(uint64(i)).Uint64()
 		cfg, desc := fuzzConfig(seed)
 		t.Run(fmt.Sprintf("cfg%02d_%s", i, desc), func(t *testing.T) {
+			reproOnFailure(t, fmt.Sprintf("TestRandomizedSkipVsStepDifferential/cfg%02d_.*", i))
 			ref := captureRun(cfg, false, false, horizon)
 			fast := captureRun(cfg, true, false, horizon)
 			polled := captureRun(cfg, true, true, horizon)

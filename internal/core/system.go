@@ -463,6 +463,56 @@ func (s *System) RunFrames(k int) {
 	s.kernel.RunFor(sim.Cycle(k) * s.cfg.FramePeriod())
 }
 
+// RunChecked advances the simulation by n cycles with failures contained:
+// panics raised anywhere in the system surface as a *sim.PanicError, and
+// any watchdog installed with SetWatchdog bounds the run (see
+// sim.Kernel.RunChecked).
+func (s *System) RunChecked(n sim.Cycle) error { return s.kernel.RunForChecked(n) }
+
+// RunFramesChecked is RunChecked over k frame periods.
+func (s *System) RunFramesChecked(k int) error {
+	return s.kernel.RunForChecked(sim.Cycle(k) * s.cfg.FramePeriod())
+}
+
+// SetWatchdog installs wd on the kernel, defaulting its Outstanding and
+// Progress probes to the system-level ones (in-flight transactions and
+// completed transactions) when unset, so callers only pick budgets.
+func (s *System) SetWatchdog(wd *sim.Watchdog) {
+	if wd != nil {
+		if wd.Outstanding == nil {
+			wd.Outstanding = s.Outstanding
+		}
+		if wd.Progress == nil {
+			wd.Progress = s.CompletedTransactions
+		}
+	}
+	s.kernel.SetWatchdog(wd)
+}
+
+// Outstanding counts transactions that are in flight somewhere in the
+// system — generated but not yet completed, including requests still in
+// DMA pending queues. A fully parked wake heap with Outstanding > 0 is
+// a deadlock (a component dropped a transaction); the kernel watchdog
+// uses this probe to detect it.
+func (s *System) Outstanding() uint64 {
+	var n uint64
+	for _, u := range s.units {
+		st := u.Engine.Stats()
+		n += st.Generated - st.Completed
+	}
+	return n
+}
+
+// CompletedTransactions sums completions across every DMA — the default
+// forward-progress counter for the watchdog.
+func (s *System) CompletedTransactions() uint64 {
+	var n uint64
+	for _, u := range s.units {
+		n += u.Engine.Stats().Completed
+	}
+	return n
+}
+
 // MinNPIByCore reports, for every metered core, the minimum NPI sample at
 // or after cycle from, taking the worst DMA of each core. This is the
 // "did the core ever fall below target" statistic behind Figs. 5, 6 and 9.

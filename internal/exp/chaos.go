@@ -1,0 +1,61 @@
+// Chaos hooks: deliberate fault injection for the supervisor's own test
+// suite. A ChaosFunc decides, per cell and attempt, whether the cell
+// panics mid-run, livelocks into the wall-clock timeout, or "kills" the
+// sweep after completing (simulating a process death mid-grid, the
+// journal's resume case). Production sweeps leave Options.Chaos nil;
+// nothing here is on any hot path.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"sara/internal/core"
+	"sara/internal/sim"
+)
+
+// Chaos is one cell's injected-fault plan. The zero value injects
+// nothing.
+type Chaos struct {
+	// PanicAtCycle schedules a panic inside the run at this cycle,
+	// exercising the supervisor's containment (0 = off).
+	PanicAtCycle sim.Cycle
+	// HangAtCycle starts a livelock at this cycle: an event re-schedules
+	// itself every cycle while burning HangSleep of wall-clock time per
+	// cycle, so the run makes only glacial progress — the shape of a real
+	// livelock the wall-clock timeout must bound (0 = off).
+	HangAtCycle sim.Cycle
+	// HangSleep is the wall-clock cost per hung cycle (default 1ms).
+	HangSleep time.Duration
+	// KillSweep marks this cell as the sweep's last: after it completes,
+	// no further cells are dispatched, as if the process died between
+	// cells. Already-completed cells stay in the journal; the rest are
+	// reported as not run.
+	KillSweep bool
+}
+
+// ChaosFunc plans the faults for one cell attempt. Test-only; keep it
+// deterministic so retries mean something.
+type ChaosFunc func(c Cell, attempt int) Chaos
+
+// arm schedules the plan's in-run faults on the cell's kernel.
+func (ch Chaos) arm(sys *core.System) {
+	k := sys.Kernel()
+	if ch.PanicAtCycle > 0 {
+		k.At(ch.PanicAtCycle, func(now sim.Cycle) {
+			panic(fmt.Sprintf("chaos: injected panic at cycle %d", now))
+		})
+	}
+	if ch.HangAtCycle > 0 {
+		sleep := ch.HangSleep
+		if sleep <= 0 {
+			sleep = time.Millisecond
+		}
+		var hang func(now sim.Cycle)
+		hang = func(now sim.Cycle) {
+			time.Sleep(sleep)
+			k.At(now+1, hang)
+		}
+		k.At(ch.HangAtCycle, hang)
+	}
+}

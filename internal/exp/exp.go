@@ -11,10 +11,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sara/internal/config"
 	"sara/internal/core"
 	"sara/internal/memctrl"
+	"sara/internal/repro"
 	"sara/internal/stats"
 )
 
@@ -45,6 +47,30 @@ type Options struct {
 	// streams, so results are identical regardless of worker count; the
 	// identity tests assert it.
 	Workers int
+
+	// The supervisor knobs below are all zero-cost when left at their
+	// zero values: no watchdog is armed, no journal is opened, and runs
+	// take the same code path as before (plus one deferred recover per
+	// run, not per cycle — the 0 allocs/op gate is unaffected).
+
+	// Timeout bounds each cell's wall-clock time; an overrunning cell is
+	// aborted with a DeadlockError carrying the kernel's wake-state dump.
+	Timeout time.Duration
+	// MaxCycles bounds each cell's executed (non-skipped) cycles — the
+	// deterministic livelock budget.
+	MaxCycles uint64
+	// Retries reruns a failed cell up to this many extra times
+	// (deterministic: same config and seed), absorbing environmental
+	// failures; a reproducible failure fails every attempt.
+	Retries int
+	// Journal, when set, is the path of the append-only JSONL checkpoint
+	// journal completed cells are recorded in.
+	Journal string
+	// Resume, with Journal set, serves cells already present in the
+	// journal from it instead of re-simulating them.
+	Resume bool
+	// Chaos injects faults per cell (tests only; see ChaosFunc).
+	Chaos ChaosFunc
 }
 
 // apply fills defaults.
@@ -84,6 +110,13 @@ func (o Options) forEach(n int, fn func(i int)) {
 	}
 	var wg sync.WaitGroup
 	next := int64(-1)
+	// A panic inside one slot must not tear down the process before the
+	// other workers finish their slots: capture the first one, let every
+	// remaining slot complete, then re-raise it on the caller's goroutine.
+	// (Supervised runs recover their own panics first; this is the safety
+	// net for the unsupervised figure paths.)
+	var panicOnce sync.Once
+	var panicVal any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -93,11 +126,21 @@ func (o Options) forEach(n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicVal = r })
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // FastOptions is an alias of DefaultOptions kept for test readability.
@@ -110,28 +153,37 @@ const PassNPI = 0.95
 // FailNPI marks clear QoS failure.
 const FailNPI = 0.8
 
-// PolicyRun is one (test case, policy) simulation outcome.
+// PolicyRun is one (test case, policy) simulation outcome. The struct is
+// JSON-round-trippable: the checkpoint journal persists it verbatim, and
+// a journal-loaded run regenerates every table and CSV bit-identically.
 type PolicyRun struct {
-	Case   config.Case
-	Policy memctrl.PolicyKind
+	Case   config.Case        `json:"case"`
+	Policy memctrl.PolicyKind `json:"policy"`
 	// MinNPI is the per-core minimum NPI over the measured frames (worst
 	// DMA of each core).
-	MinNPI map[string]float64
+	MinNPI map[string]float64 `json:"min_npi,omitempty"`
 	// Series holds the per-DMA NPI time series over the measured frames.
-	Series map[string]*stats.Series
+	Series map[string]*stats.Series `json:"series,omitempty"`
 	// BandwidthGBps is the average DRAM bandwidth over the measured
 	// window.
-	BandwidthGBps float64
+	BandwidthGBps float64 `json:"bandwidth_gbps"`
 	// RowHitRate is the fraction of CAS commands served without a fresh
 	// activate, over the whole run.
-	RowHitRate float64
+	RowHitRate float64 `json:"row_hit_rate"`
 	// Refreshes counts REF commands issued across all channels (zero when
 	// refresh is disabled); RefreshDuty is the fraction of rank-cycles
 	// spent in tRFC blackout over the whole run.
-	Refreshes   uint64
-	RefreshDuty float64
+	Refreshes   uint64  `json:"refreshes,omitempty"`
+	RefreshDuty float64 `json:"refresh_duty,omitempty"`
 	// CriticalCores lists the cores the corresponding paper figure plots.
-	CriticalCores []string
+	CriticalCores []string `json:"critical_cores,omitempty"`
+	// Err, under the run supervisor, reports a contained failure: the
+	// cell panicked, timed out or tripped the livelock watchdog. A run
+	// with Err set carries no measurements.
+	Err *RunError `json:"err,omitempty"`
+	// FromJournal marks a run served from the checkpoint journal instead
+	// of simulated (resume path; never persisted).
+	FromJournal bool `json:"-"`
 }
 
 // Passed reports whether core met its target throughout the window.
@@ -150,13 +202,19 @@ func (r PolicyRun) Failures() []string {
 	return out
 }
 
-// runOne builds and measures one configuration.
-func runOne(cfg core.Config, tc config.Case, opt Options) PolicyRun {
-	sys := core.Build(cfg)
-	sys.RunFrames(opt.WarmupFrames)
+// measure runs an already-built (and possibly watchdog-armed) system
+// through the warmup and measurement frames, containing failures: a
+// watchdog trip or a panic anywhere in the system comes back as an error
+// instead of unwinding the worker.
+func measure(sys *core.System, cfg core.Config, tc config.Case, opt Options) (PolicyRun, error) {
+	if err := sys.RunFramesChecked(opt.WarmupFrames); err != nil {
+		return PolicyRun{}, err
+	}
 	from := sys.Now()
 	before := sys.DRAM().Stats()
-	sys.RunFrames(opt.MeasureFrames)
+	if err := sys.RunFramesChecked(opt.MeasureFrames); err != nil {
+		return PolicyRun{}, err
+	}
 	to := sys.Now()
 
 	// With no warmup the first quarter frame is excluded from the minimum:
@@ -192,18 +250,15 @@ func runOne(cfg core.Config, tc config.Case, opt Options) PolicyRun {
 		}
 		run.Series[u.Label()] = trimmed
 	}
-	return run
+	return run, nil
 }
 
-// RunPolicy measures one test case under one policy.
+// RunPolicy measures one test case under one policy, supervised: a
+// panicking or livelocked run comes back with PolicyRun.Err set instead
+// of crashing the caller.
 func RunPolicy(tc config.Case, policy memctrl.PolicyKind, opt Options) PolicyRun {
 	opt = opt.apply()
-	cfg := config.Camcorder(tc,
-		config.WithPolicy(policy),
-		config.WithScaleDiv(opt.ScaleDiv),
-		config.WithSeed(opt.Seed),
-		config.WithRefresh(opt.Refresh))
-	return runOne(cfg, tc, opt)
+	return runCell(Cell{Case: tc, Policy: policy, Seed: opt.Seed}, opt)
 }
 
 // Fig5Policies are the four arbitration policies Fig. 5 compares.
@@ -211,14 +266,17 @@ func Fig5Policies() []memctrl.PolicyKind {
 	return []memctrl.PolicyKind{memctrl.FCFS, memctrl.RR, memctrl.FrameRate, memctrl.QoS}
 }
 
-// runPolicies measures tc under each policy, fanning the independent runs
-// across opt.Workers.
+// runPolicies measures tc under each policy through the supervised cell
+// runner, fanning the independent runs across opt.Workers.
 func runPolicies(tc config.Case, policies []memctrl.PolicyKind, opt Options) []PolicyRun {
 	opt = opt.apply()
-	out := make([]PolicyRun, len(policies))
-	opt.forEach(len(policies), func(i int) {
-		out[i] = RunPolicy(tc, policies[i], opt)
-	})
+	cells := make([]Cell, len(policies))
+	for i, p := range policies {
+		cells[i] = Cell{Case: tc, Policy: p, Seed: opt.Seed}
+	}
+	// The journal error (open/write) does not invalidate the runs; the
+	// figure helpers keep their historical signature and drop it.
+	out, _ := RunCells(cells, opt)
 	return out
 }
 
@@ -332,8 +390,17 @@ func Fig9(opt Options) []PolicyRun {
 		[]memctrl.PolicyKind{memctrl.FRFCFS, memctrl.QoSRB}, opt)
 }
 
-// FormatRun renders a PolicyRun as a small text table.
+// FormatRun renders a PolicyRun as a small text table. A failed
+// (supervised) run renders its failure and the standardized Repro line
+// instead of measurements.
 func FormatRun(r PolicyRun) string {
+	if r.Err != nil {
+		var b strings.Builder
+		fmt.Fprintf(&b, "case %s / policy %-9s  FAILED after %d attempt(s): %s\n",
+			r.Case, r.Policy, r.Err.Attempts, firstLine(r.Err.Reason))
+		fmt.Fprintf(&b, "  %s\n", repro.Line(r.Err.Repro))
+		return b.String()
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "case %s / policy %-9s  bw=%5.2f GB/s  rowhit=%.2f",
 		r.Case, r.Policy, r.BandwidthGBps, r.RowHitRate)
@@ -354,6 +421,15 @@ func FormatRun(r PolicyRun) string {
 		fmt.Fprintf(&b, "  %-14s min NPI %6.3f  %s\n", c, r.MinNPI[c], status)
 	}
 	return b.String()
+}
+
+// firstLine truncates multi-line failure text (a watchdog's wake-state
+// dump, say) to its headline for the one-line table row.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " […]"
+	}
+	return s
 }
 
 // FormatFig7 renders the Fig. 7 sweep as horizontal distribution bars.

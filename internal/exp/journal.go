@@ -1,0 +1,112 @@
+// The checkpoint journal: an append-only JSONL file of completed sweep
+// cells keyed by their canonical config hash. A sweep interrupted
+// mid-grid — killed, OOMed, rebooted — resumes by reopening the journal
+// and serving already-completed cells from it; the deterministic kernel
+// guarantees the remaining cells reproduce exactly, so a resumed sweep's
+// tables are bit-identical to an uninterrupted run. This is the first
+// brick of the result store (ROADMAP item 3): identical (config, seed)
+// cells are served from disk instead of re-simulated.
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalEntry is one line of the journal file.
+type journalEntry struct {
+	// Key is the cell's canonical config hash (Cell.Key); lookups match
+	// on it alone.
+	Key string `json:"key"`
+	// Cell is the human-readable identity, for auditing journals without
+	// the hashing code at hand.
+	Cell Cell `json:"cell"`
+	// Run is the cell's full result, sufficient to regenerate every
+	// table and CSV the sweep produces.
+	Run PolicyRun `json:"run"`
+}
+
+// Journal is an open checkpoint journal: the parsed index of every
+// complete entry in the file plus an append handle for new ones. Safe
+// for concurrent use by the worker pool.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]PolicyRun
+}
+
+// OpenJournal opens (creating if absent) the journal at path and indexes
+// its existing entries. A torn final line — the signature of a kill mid
+// write — is skipped, not fatal: the cell it would have recorded simply
+// reruns, and the append continues on a fresh line.
+func OpenJournal(path string) (*Journal, error) {
+	done := map[string]PolicyRun{}
+	tornTail := false
+	if raw, err := os.ReadFile(path); err == nil {
+		tornTail = len(raw) > 0 && raw[len(raw)-1] != '\n'
+		sc := bufio.NewScanner(bytes.NewReader(raw))
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e journalEntry
+			if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+				continue // torn or foreign line: rerun that cell
+			}
+			done[e.Key] = e.Run
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	// Ensure the append starts on a fresh line after a torn write.
+	if tornTail {
+		f.Write([]byte("\n"))
+	}
+	return &Journal{f: f, done: done}, nil
+}
+
+// Len reports how many completed cells the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Lookup returns the journaled result for key, if present.
+func (j *Journal) Lookup(key string) (PolicyRun, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	run, ok := j.done[key]
+	return run, ok
+}
+
+// Record appends one completed cell as a single JSONL line and indexes
+// it. The line is written atomically with respect to other Record calls;
+// O_APPEND plus the lock keeps concurrent workers from interleaving.
+func (j *Journal) Record(key string, c Cell, run PolicyRun) error {
+	line, err := json.Marshal(journalEntry{Key: key, Cell: c, Run: run})
+	if err != nil {
+		return fmt.Errorf("journal: encode %s: %w", key, err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: append %s: %w", key, err)
+	}
+	j.done[key] = run
+	return nil
+}
+
+// Close releases the append handle; the index stays readable.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -11,19 +11,19 @@ import (
 	"sara/internal/stats"
 )
 
-// RunSeeds measures (tc, policy) once per seed, fanning the independent
-// runs across the worker pool. Each run owns its own kernel and forked
-// RNG streams, so the result slice — and every statistic derived from it
-// — is identical regardless of worker count; the seed fan-out tests
-// assert it.
+// RunSeeds measures (tc, policy) once per seed through the supervised
+// cell runner, fanning the independent runs across the worker pool. Each
+// run owns its own kernel and forked RNG streams, so the result slice —
+// and every statistic derived from it — is identical regardless of worker
+// count; the seed fan-out tests assert it. With Options.Journal set the
+// fan-out checkpoints per seed, like any other cell grid.
 func RunSeeds(tc config.Case, policy memctrl.PolicyKind, seeds []uint64, opt Options) []PolicyRun {
 	opt = opt.apply()
-	out := make([]PolicyRun, len(seeds))
-	opt.forEach(len(seeds), func(i int) {
-		o := opt
-		o.Seed = seeds[i]
-		out[i] = RunPolicy(tc, policy, o)
-	})
+	cells := make([]Cell, len(seeds))
+	for i, s := range seeds {
+		cells[i] = Cell{Case: tc, Policy: policy, Seed: s}
+	}
+	out, _ := RunCells(cells, opt)
 	return out
 }
 

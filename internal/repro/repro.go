@@ -1,0 +1,37 @@
+// Package repro standardizes the "Repro:" line every failure in this
+// repository prints: one exact, copy-pasteable command that reruns the
+// failing case — a fuzz config, a differential trace, a sweep cell —
+// with its seed, config and flags pinned. Graders, CI logs and humans
+// all key on the same prefix.
+package repro
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Prefix is the standardized marker; keep it grep-stable.
+const Prefix = "Repro: "
+
+// Line prefixes a rerun command with the standard marker.
+func Line(cmd string) string { return Prefix + cmd }
+
+// GoTest builds the rerun command for one test (or subtest) of pkg.
+// pattern is anchored verbatim, so pass a name that selects exactly the
+// failing case (subtest names are matched with /).
+func GoTest(pkg, pattern string) string {
+	return fmt.Sprintf("go test -count=1 -run '%s' %s", pattern, pkg)
+}
+
+// Command joins a command and its arguments, quoting any argument that
+// contains whitespace so the line survives a shell round trip.
+func Command(parts ...string) string {
+	quoted := make([]string, len(parts))
+	for i, p := range parts {
+		if strings.ContainsAny(p, " \t") {
+			p = "'" + p + "'"
+		}
+		quoted[i] = p
+	}
+	return strings.Join(quoted, " ")
+}

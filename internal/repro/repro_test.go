@@ -1,0 +1,19 @@
+package repro
+
+import "testing"
+
+func TestLineAndGoTest(t *testing.T) {
+	got := Line(GoTest(".", "TestFoo/cfg03_.*"))
+	want := "Repro: go test -count=1 -run 'TestFoo/cfg03_.*' ."
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestCommandQuotesWhitespace(t *testing.T) {
+	got := Command("go", "run", "./cmd/sarasweep", "-case", "A B")
+	want := "go run ./cmd/sarasweep -case 'A B'"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}

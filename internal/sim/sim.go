@@ -347,6 +347,17 @@ type Kernel struct {
 	// at most busyLatchMax cycles after the load ends.
 	busyStreak uint8
 	busyLatch  uint8
+	// wd, when non-nil, activates the run-loop guardrails: RunChecked
+	// routes through the guarded loop in guard.go instead of Run's hot
+	// loop, so a nil watchdog costs nothing on the steady-state path.
+	// executed counts executed (non-skipped) cycles since the watchdog
+	// was armed; the remaining fields are the watchdog's check cadence
+	// and progress bookkeeping (see guard.go).
+	wd           *Watchdog
+	executed     uint64
+	wdCountdown  uint64
+	lastProgress uint64
+	progressAt   uint64
 }
 
 // busyLatchMax bounds the busy latch: at most this many executed cycles
@@ -383,7 +394,7 @@ func (k *Kernel) IdleSkipActive() bool { return !k.noSkip && !k.opaque }
 // inserting a ticker mid-run would silently skip its earlier cycles.
 func (k *Kernel) Register(t Ticker) WakeHandle {
 	if k.started {
-		panic("sim: Register after simulation started")
+		panic(invariant("sim: Register after simulation started"))
 	}
 	k.tickers = append(k.tickers, t)
 	id, ok := t.(Idler)
@@ -436,7 +447,7 @@ func (k *Kernel) After(delay Cycle, fn func(now Cycle)) {
 // reached.
 func (k *Kernel) Every(period Cycle, fn func(now Cycle)) {
 	if period == 0 {
-		panic("sim: Every with zero period")
+		panic(invariant("sim: Every with zero period"))
 	}
 	var rearm func(now Cycle)
 	rearm = func(now Cycle) {

@@ -1,0 +1,21 @@
+package sara_test
+
+import (
+	"testing"
+
+	"sara/internal/repro"
+)
+
+// reproOnFailure arranges for a failing test to end with the
+// standardized Repro: line naming the exact go test command that reruns
+// it — the same convention the sweep supervisor's RunError uses — so
+// every fuzz/differential failure in CI is one copy-paste from a local
+// rerun. pattern is the -run regexp selecting this test (or subtest).
+func reproOnFailure(t *testing.T, pattern string) {
+	t.Helper()
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("%s", repro.Line(repro.GoTest(".", pattern)))
+		}
+	})
+}

@@ -183,3 +183,36 @@ var (
 	// FormatFig8 renders the Fig. 8 bars as text.
 	FormatFig8 = exp.FormatFig8
 )
+
+// Crash safety re-exports: the run supervisor, its typed failures and
+// the checkpoint journal (see README "Crash safety & resume").
+
+// Cell identifies one point of a sweep grid: a (case, policy, data rate,
+// seed, scale, saturated) simulation.
+type Cell = exp.Cell
+
+// RunError reports one failed, contained sweep cell, ending with the
+// exact one-line rerun command.
+type RunError = exp.RunError
+
+// Watchdog bounds a kernel run with cycle, wall-clock and progress
+// budgets; install with System.SetWatchdog and drive the run through
+// System.RunChecked / RunFramesChecked.
+type Watchdog = sim.Watchdog
+
+// DeadlockError reports a watchdog trip, with a per-idler wake-state
+// diagnostic dump.
+type DeadlockError = sim.DeadlockError
+
+// PanicError wraps a panic recovered at the run boundary.
+type PanicError = sim.PanicError
+
+var (
+	// RunCells measures a sweep grid under the run supervisor, with
+	// optional per-cell budgets, retries and checkpoint journaling.
+	RunCells = exp.RunCells
+	// FailedRuns collects the contained failures of a supervised grid.
+	FailedRuns = exp.Failed
+	// OpenJournal opens (creating if absent) a checkpoint journal.
+	OpenJournal = exp.OpenJournal
+)

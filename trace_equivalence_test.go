@@ -221,6 +221,7 @@ func TestIdleSkipTraceEquivalence(t *testing.T) {
 	for _, policy := range []sara.Policy{sara.QoS, sara.FRFCFS} {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
+			reproOnFailure(t, "TestIdleSkipTraceEquivalence/"+policy.String())
 			ref := runTraced(policy, traceStepped, false, horizon)
 			compareTraces(t, ref, runTraced(policy, traceSkipHeap, false, horizon))
 			compareTraces(t, ref, runTraced(policy, traceSkipPoll, false, horizon))
@@ -237,6 +238,7 @@ func TestIdleSkipTraceEquivalenceRefresh(t *testing.T) {
 	for _, policy := range []sara.Policy{sara.QoS, sara.FRFCFS} {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
+			reproOnFailure(t, "TestIdleSkipTraceEquivalenceRefresh/"+policy.String())
 			ref := runTraced(policy, traceStepped, true, horizon)
 			fast := runTraced(policy, traceSkipHeap, true, horizon)
 			compareTraces(t, ref, fast)
@@ -261,6 +263,7 @@ func TestIdleSkipTraceEquivalenceRefresh(t *testing.T) {
 // reference: deferred accrual may land later, but every stalled cycle
 // must be attributed to the same cycle in both modes.
 func TestIdleSkipStallAccounting(t *testing.T) {
+	reproOnFailure(t, "TestIdleSkipStallAccounting")
 	type ev struct {
 		now      sim.Cycle
 		n        uint64
