@@ -5,6 +5,12 @@
 //
 //	go test -run=NONE -bench=... -benchmem . | benchjson -o BENCH_loaded.json
 //	benchjson -o BENCH_loaded.json bench.out
+//
+// With -baseline it additionally compares the fresh ns/cycle numbers
+// against a previously-emitted report and exits 3 when any shared
+// benchmark regressed by more than -tolerance (fraction, default 0.25):
+//
+//	benchjson -baseline bench_baseline.json bench.out >/dev/null
 package main
 
 import (
@@ -111,11 +117,13 @@ func main() {
 
 // run is main without the process plumbing, so tests can drive the CLI
 // and assert output and exit codes. 0 = success, 1 = bad input or write
-// failure, 2 = usage error.
+// failure, 2 = usage error, 3 = ns/cycle regression beyond tolerance.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "output file (default stdout)")
+	baseline := fs.String("baseline", "", "baseline report JSON to compare ns/cycle against")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional ns/cycle regression vs the baseline")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -147,11 +155,61 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	enc = append(enc, '\n')
 	if *out == "" {
 		stdout.Write(enc)
-		return 0
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(stderr, "benchjson: %v\n", err)
 		return 1
+	}
+	if *baseline != "" {
+		return compareBaseline(rep, *baseline, *tolerance, stderr)
+	}
+	return 0
+}
+
+// compareBaseline checks every ns/cycle the fresh report shares with the
+// baseline report and reports regressions beyond tolerance. An empty
+// intersection fails too: a renamed benchmark must not silently turn the
+// regression gate into a no-op.
+func compareBaseline(rep Report, path string, tolerance float64, stderr io.Writer) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: baseline: %v\n", err)
+		return 1
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "benchjson: baseline %s: %v\n", path, err)
+		return 1
+	}
+	fresh := map[string]*float64{}
+	for _, b := range rep.Benchmarks {
+		fresh[b.Name] = b.NsPerCycle
+	}
+	compared, regressed := 0, 0
+	for _, b := range base.Benchmarks {
+		if b.NsPerCycle == nil {
+			continue
+		}
+		cur, ok := fresh[b.Name]
+		if !ok || cur == nil {
+			continue
+		}
+		compared++
+		ratio := *cur / *b.NsPerCycle
+		if ratio > 1+tolerance {
+			regressed++
+			fmt.Fprintf(stderr, "benchjson: REGRESSION %s: %.1f ns/cycle vs baseline %.1f (%.0f%% > %.0f%% tolerance)\n",
+				b.Name, *cur, *b.NsPerCycle, (ratio-1)*100, tolerance*100)
+			continue
+		}
+		fmt.Fprintf(stderr, "benchjson: ok %s: %.1f ns/cycle vs baseline %.1f (%+.0f%%)\n",
+			b.Name, *cur, *b.NsPerCycle, (ratio-1)*100)
+	}
+	if compared == 0 {
+		fmt.Fprintf(stderr, "benchjson: baseline %s shares no ns/cycle benchmarks with the input\n", path)
+		return 1
+	}
+	if regressed > 0 {
+		return 3
 	}
 	return 0
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -105,6 +107,93 @@ func TestRunRejectsUnknownFlag(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-no-such-flag"}, strings.NewReader(""), &out, &errb); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+// writeBaseline emits a baseline report whose two sample benchmarks run
+// at the given ns/cycle values and returns its path.
+func writeBaseline(t *testing.T, nsPerCycle1, nsPerCycle2 float64) string {
+	t.Helper()
+	mk := func(name string, nsc float64) Bench {
+		return Bench{Name: name, NsPerCycle: &nsc}
+	}
+	rep := Report{Benchmarks: []Bench{
+		mk("BenchmarkSimulatorThroughput", nsPerCycle1),
+		mk("BenchmarkLoadedPhaseThroughputScaled/4x", nsPerCycle2),
+	}}
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBaselineWithinTolerancePasses(t *testing.T) {
+	// The sample runs at 258.009 and 2201.684/8 ns/cycle; a baseline 10%
+	// below both is inside the default 25% tolerance.
+	path := writeBaseline(t, 258.009/1.1, 2201.684/1.1)
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", path}, strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "ok BenchmarkSimulatorThroughput") {
+		t.Errorf("stderr lacks the per-benchmark comparison:\n%s", errb.String())
+	}
+}
+
+func TestBaselineRegressionFails(t *testing.T) {
+	// A baseline 40% below the sample's first benchmark trips the gate.
+	path := writeBaseline(t, 258.009/1.4, 2201.684)
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", path}, strings.NewReader(sample), &out, &errb); code != 3 {
+		t.Fatalf("exit code %d, want 3; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "REGRESSION BenchmarkSimulatorThroughput") {
+		t.Errorf("stderr does not name the regressed benchmark:\n%s", errb.String())
+	}
+}
+
+func TestBaselineToleranceFlag(t *testing.T) {
+	// The same 40% regression passes once the tolerance is raised to 50%.
+	path := writeBaseline(t, 258.009/1.4, 2201.684)
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", path, "-tolerance", "0.5"},
+		strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+}
+
+func TestBaselineDisjointNamesFail(t *testing.T) {
+	// A baseline sharing no benchmark names must fail loudly, not pass
+	// vacuously.
+	mk := Bench{Name: "BenchmarkRenamedAway", NsPerCycle: new(float64)}
+	*mk.NsPerCycle = 100
+	enc, err := json.Marshal(Report{Benchmarks: []Bench{mk}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", path}, strings.NewReader(sample), &out, &errb); code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "shares no ns/cycle benchmarks") {
+		t.Errorf("stderr lacks the disjoint-names diagnosis:\n%s", errb.String())
+	}
+}
+
+func TestBaselineMissingFileFails(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", "/no/such/baseline.json"},
+		strings.NewReader(sample), &out, &errb); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
 	}
 }
 

@@ -2,6 +2,7 @@ package sara_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"sara"
@@ -99,8 +100,49 @@ func fuzzConfig(seed uint64) (sara.Config, string) {
 	}
 	cfg = sara.ScaleSoC(cfg, factor)
 
-	desc := fmt.Sprintf("case%v/%v/refresh=%v/dmas=%d/depth=%d/hop=%d/scale=%dx",
-		tc, policy, refresh, len(cfg.DMAs), cfg.NoC.PortDepth, cfg.NoC.HopLatency, factor)
+	// Adversarial dormancy patterns for the active-ticker list, drawn
+	// after the scale draw (appending keeps every earlier draw — and so
+	// every historic failure seed — meaning the same thing) and applied to
+	// the scaled roster so they compose with 2x/4x SoCs.
+	dormancy := "none"
+	switch rng.Intn(4) {
+	case 1:
+		// Long quiescence: starve the steady consumers' token fill so
+		// they sleep for thousands of cycles between bursts, stretching
+		// the windows the kernel must prove empty.
+		dormancy = "quiesce"
+		for i := range cfg.DMAs {
+			if s := &cfg.DMAs[i].Source; s.Kind == sara.SrcRate || s.Kind == sara.SrcCPU {
+				s.RateBps /= 64
+			}
+		}
+	case 2:
+		// Single-cycle wakes: smooth, slow rate sources emit exactly one
+		// request per token fill, so every wake is a one-cycle island of
+		// activity between dormant stretches.
+		dormancy = "singles"
+		for i := range cfg.DMAs {
+			s := &cfg.DMAs[i].Source
+			if s.Kind == sara.SrcRate {
+				s.RateBps /= 16
+				s.BurstReqs = 1
+			}
+			if s.Kind == sara.SrcSporadic {
+				s.RateBps /= 8
+			}
+		}
+	case 3:
+		// Co-due bursts: strip every start offset so the periodic engines
+		// wake in phase and the active list must tick co-due packs in
+		// registration order instead of one staggered ticker at a time.
+		dormancy = "codue"
+		for i := range cfg.DMAs {
+			cfg.DMAs[i].Source.StartOffsetFrac = 0
+		}
+	}
+
+	desc := fmt.Sprintf("case%v/%v/refresh=%v/dmas=%d/depth=%d/hop=%d/scale=%dx/dorm=%s",
+		tc, policy, refresh, len(cfg.DMAs), cfg.NoC.PortDepth, cfg.NoC.HopLatency, factor, dormancy)
 	return cfg, desc
 }
 
@@ -237,10 +279,13 @@ func TestRandomizedSkipVsStepDifferential(t *testing.T) {
 	if testing.Short() {
 		configs = 10
 	}
-	var totalGrants, totalSkipped, refreshRuns, scaledRuns uint64
+	var totalGrants, totalSkipped, refreshRuns, scaledRuns, dormancyRuns uint64
 	for i := 0; i < configs; i++ {
 		seed := sim.NewRand(baseSeed).Fork(uint64(i)).Uint64()
 		cfg, desc := fuzzConfig(seed)
+		if !strings.Contains(desc, "dorm=none") {
+			dormancyRuns++
+		}
 		t.Run(fmt.Sprintf("cfg%02d_%s", i, desc), func(t *testing.T) {
 			reproOnFailure(t, fmt.Sprintf("TestRandomizedSkipVsStepDifferential/cfg%02d_.*", i))
 			ref := captureRun(cfg, false, false, horizon)
@@ -278,5 +323,8 @@ func TestRandomizedSkipVsStepDifferential(t *testing.T) {
 	}
 	if !testing.Short() && scaledRuns == 0 {
 		t.Fatal("fuzz pool exercised no scaled-SoC configs")
+	}
+	if !testing.Short() && dormancyRuns == 0 {
+		t.Fatal("fuzz pool exercised no adversarial dormancy configs")
 	}
 }

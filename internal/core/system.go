@@ -287,15 +287,18 @@ func (s *System) buildUnit(idx int, spec DMASpec, port *noc.Port, rng *sim.Rand,
 		u.Source = ds
 		u.Meter = meter.NewOccupancyMeter(bpc, meterWindow, bufBytes, false, ds.OccupancyAt)
 		// The frame-rate baseline treats a draining real-time buffer as an
-		// urgent media core.
-		engine.SetUrgentProbe(func() bool { return ds.Occupancy() < 0.55 })
+		// urgent media core. The probe integrates to now+1 — the same point
+		// the source's own tick would have reached had it run this cycle —
+		// so the answer is identical whether or not the active-ticker list
+		// skipped the source.
+		engine.SetUrgentProbe(func(now sim.Cycle) bool { return ds.OccupancyAt(now+1) < 0.55 })
 
 	case SrcCamera:
 		bufBytes := s.bufferBytes(src, bpc)
 		cs := traffic.NewCameraSource(spec.Label(), engine, region, bpc, bufBytes, src.ReqSize)
 		u.Source = cs
 		u.Meter = meter.NewOccupancyMeter(bpc, meterWindow, bufBytes, true, cs.OccupancyAt)
-		engine.SetUrgentProbe(func() bool { return cs.Occupancy() > 0.45 })
+		engine.SetUrgentProbe(func(now sim.Cycle) bool { return cs.OccupancyAt(now+1) > 0.45 })
 
 	case SrcSporadic:
 		meanGap := float64(src.ReqSize) / bpc

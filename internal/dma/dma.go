@@ -9,11 +9,15 @@
 // (wakeAt) instead of inspecting its queue, window and port every cycle.
 // The three events that can make an injection possible earlier each
 // re-arm the cache and the kernel's wake heap: a source enqueue
-// (Enqueue), a completion freeing a window slot (Deliver), and a credit
+// (Enqueue, kernel entry only — the live-queue Tick gate needs no cache
+// update), a completion freeing a window slot (Deliver), and a credit
 // return from the NoC port it injects into (Wake, wired through
-// noc.Port.OnCredit). Ticks strictly before wakeAt only settle the
-// batched stall accounting in O(1). SetForceScan restores the per-cycle
-// queue inspection as the stepped reference for the differential suites.
+// noc.Port.OnCredit). Under the kernel's active-ticker list a dormant
+// engine is not ticked at all; in the stepped and force-poll reference
+// modes ticks strictly before wakeAt settle the batched stall accounting
+// in O(1), and SettleRun flushes the same accounting at the run horizon.
+// SetForceScan restores the per-cycle queue inspection as the stepped
+// reference for the differential suites.
 package dma
 
 import (
@@ -31,11 +35,11 @@ var debugInject func(now sim.Cycle, source int, id uint64, addr uint64)
 // only; not for concurrent use).
 func SetDebugInject(fn func(now sim.Cycle, source int, id uint64, addr uint64)) { debugInject = fn }
 
-// debugWake, when set, observes every injection-wake re-arm: which engine
-// re-armed its cached next-injection cycle to at, and why — 'D' for a
+// debugWake, when set, observes every injection-wake re-arm of the cached
+// next-injection cycle: which engine re-armed to at, and why — 'D' for a
 // completion delivery, 'C' for a port credit return (tests only; the
-// enqueue edge needs no re-arm and so has no wake to trace — the Tick
-// gate reads the live queue).
+// enqueue edge re-arms only the kernel's wake entry, never the cache —
+// the Tick gate reads the live queue — so it has no wake to trace).
 var debugWake func(source int, at sim.Cycle, cause byte)
 
 // SetDebugWake installs the injection-wake trace hook (equivalence tests
@@ -110,8 +114,11 @@ type Engine struct {
 
 	priority txn.Priority
 	// urgent is probed at injection time for the frame-rate baseline; nil
-	// means never urgent.
-	urgent func() bool
+	// means never urgent. It receives the injection cycle: under the
+	// active-ticker list the probed source may not have been ticked this
+	// cycle, so any time-dependent state it reads must be derived from
+	// now rather than from its own last tick.
+	urgent func(now sim.Cycle) bool
 
 	pending     []request
 	outstanding int
@@ -189,8 +196,9 @@ func (e *Engine) SetPriority(p txn.Priority) { e.priority = p }
 func (e *Engine) Priority() txn.Priority { return e.priority }
 
 // SetUrgentProbe installs the frame-progress urgency probe used by the
-// frame-rate-based QoS baseline.
-func (e *Engine) SetUrgentProbe(fn func() bool) { e.urgent = fn }
+// frame-rate-based QoS baseline. The probe is called with the injection
+// cycle and must answer from time-correct state (see Engine.urgent).
+func (e *Engine) SetUrgentProbe(fn func(now sim.Cycle) bool) { e.urgent = fn }
 
 // OnComplete registers a completion observer (meter, source bookkeeping).
 func (e *Engine) OnComplete(fn CompletionFunc) {
@@ -213,28 +221,23 @@ func (e *Engine) BindSourceWake(h sim.WakeHandle, onDeliver bool) {
 }
 
 // rearm records an injection-wake re-arm: the cached cycle, the wake
-// trace, and — only when kernel is set — the engine's kernel wake-heap
-// entry. Enqueues and deliveries happen in the same executed cycle as
-// the engine's own Tick (sources tick before engines, completions fire
-// before all tickers), so their re-arms are fully consumed by that
-// cycle's Tick and never need to reach the kernel, which only ever
-// probes between executed cycles; a port credit return lands after the
-// engine's tick and re-arms the NEXT cycle, so it must be pushed.
-func (e *Engine) rearm(at sim.Cycle, cause byte, kernel bool) {
+// trace, and the engine's kernel wake-heap entry. Both callers must reach
+// the kernel under the active-ticker list: a port credit return lands
+// after the engine's tick and re-arms the NEXT cycle, and a delivery
+// fires before this cycle's ticks on an engine that may be dormant — in
+// either case the kernel entry is what gets the engine ticked at all.
+func (e *Engine) rearm(at sim.Cycle, cause byte) {
 	if debugWake != nil {
 		debugWake(e.id, at, cause)
 	}
 	if at >= e.wakeAt {
-		// Already armed at or before at. For credit wakes this also
-		// means the kernel already knows: after a body run wakeAt is
-		// never, and the only way it is armed between body runs is a
-		// prior kernel-pushed credit wake.
+		// Already armed at or before at — and the kernel already knows:
+		// after a body run wakeAt is never, and the only way it is armed
+		// between body runs is a prior kernel-pushed re-arm.
 		return
 	}
 	e.wakeAt = at
-	if kernel {
-		e.kern.Rearm(at)
-	}
+	e.kern.Rearm(at)
 }
 
 // Wake implements noc.Waker: the credit return of the engine's injection
@@ -246,24 +249,32 @@ func (e *Engine) Wake(at sim.Cycle) {
 	if len(e.pending) == 0 || e.outstanding >= e.cfg.Window {
 		return
 	}
-	e.rearm(at, 'C', true)
+	e.rearm(at, 'C')
 }
 
 // Enqueue adds a request to the pending queue. It reports false when the
 // queue is full, letting rate-based sources retry without losing the
-// tokens. Enqueue needs no wake re-arm: the source enqueues during its
-// own Tick, the engine ticks after it in the same executed cycle, and
-// the engine's Tick gate reads the live queue state — so the request is
-// injected (or the stall latched) that cycle regardless of the cached
-// injection wake. Keeping the re-arm out also keeps Enqueue small enough
-// to inline into the sources' generation loops, the hottest call in the
-// simulator.
+// tokens. The cached injection wake needs no re-arm — the engine's Tick
+// gate reads the live queue state, so once the engine IS ticked this
+// cycle the request is injected (or the stall latched) regardless of
+// wakeAt. What the active-ticker list does need is the kernel entry: the
+// source enqueues during its own tick, the engine walks later in the
+// same cycle, and without a due kernel bound it would not be ticked at
+// all. The re-arm is gated on !stalled — a stalled engine's blockers
+// (full window, full port) are untouched by an enqueue, its stall
+// accounting is settled lazily, and the clearing event re-arms the
+// kernel itself — so the saturated hot path stays one flag test.
 func (e *Engine) Enqueue(kind txn.Kind, addr txn.Addr, size uint32) bool {
 	if len(e.pending) >= e.cfg.MaxPending {
 		return false
 	}
 	e.pending = append(e.pending, request{kind: kind, addr: addr, size: size})
 	e.stats.Generated++
+	if !e.stalled {
+		// First pending work on an un-blocked engine: make it due now.
+		// (Repeat enqueues this cycle hit the heap's O(1) early drop.)
+		e.kern.Rearm(0)
+	}
 	return true
 }
 
@@ -356,7 +367,7 @@ func (e *Engine) Tick(now sim.Cycle) {
 			Issue:    now,
 		}
 		if e.urgent != nil {
-			t.Urgent = e.urgent()
+			t.Urgent = e.urgent(now)
 		}
 		if debugInject != nil {
 			debugInject(now, e.id, t.ID, uint64(t.Addr))
@@ -401,7 +412,7 @@ func (e *Engine) Deliver(t *txn.Transaction, now sim.Cycle) {
 		fn(t, now)
 	}
 	if len(e.pending) > 0 {
-		e.rearm(now, 'D', false)
+		e.rearm(now, 'D')
 	}
 	if e.srcWakeOnDeliver {
 		e.srcWake.Rearm(now)
@@ -411,6 +422,23 @@ func (e *Engine) Deliver(t *txn.Transaction, now sim.Cycle) {
 	if e.cfg.Pool != nil {
 		e.cfg.Pool.Put(t)
 	}
+}
+
+// SettleRun implements sim.Settler: when the run horizon cuts a dormant
+// stalled stretch short, flush the batched InjectStalls accounting up to
+// the last simulated cycle (end-1), exactly as a dormant tick there would
+// have. No-op when the engine is not stalled, or when the final cycle was
+// ticked normally (stepped and force-poll modes, or an active engine).
+func (e *Engine) SettleRun(end sim.Cycle) {
+	if !e.stalled || end == 0 || e.lastTick >= end-1 {
+		return
+	}
+	now := end - 1
+	if now > e.lastTick+1 {
+		e.stats.InjectStalls += uint64(now - e.lastTick - 1)
+	}
+	e.stats.InjectStalls++
+	e.lastTick = now
 }
 
 // AverageLatency reports mean end-to-end latency in cycles, or 0.

@@ -88,7 +88,7 @@ func TestPriorityStampedAtInjection(t *testing.T) {
 
 func TestUrgentProbe(t *testing.T) {
 	r := newRig(4)
-	r.engine.SetUrgentProbe(func() bool { return true })
+	r.engine.SetUrgentProbe(func(now sim.Cycle) bool { return true })
 	r.engine.Enqueue(txn.Read, 0, 128)
 	r.engine.Tick(0)
 	r.drain(t, 1)

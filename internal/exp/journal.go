@@ -41,25 +41,43 @@ type Journal struct {
 
 // OpenJournal opens (creating if absent) the journal at path and indexes
 // its existing entries. A torn final line — the signature of a kill mid
-// write — is skipped, not fatal: the cell it would have recorded simply
-// reruns, and the append continues on a fresh line.
+// write — is tolerated: the fragment is truncated away and the cell it
+// would have recorded simply reruns. Any other unparsable line is real
+// corruption (bit rot, a partial overwrite, a foreign file) and fails the
+// open with the offending line's position: resuming a sweep over silently
+// dropped results would mix bit-exact journaled cells with re-simulated
+// ones and present the blend as an uninterrupted run.
 func OpenJournal(path string) (*Journal, error) {
 	done := map[string]PolicyRun{}
-	tornTail := false
 	if raw, err := os.ReadFile(path); err == nil {
-		tornTail = len(raw) > 0 && raw[len(raw)-1] != '\n'
+		if n := len(raw); n > 0 && raw[n-1] != '\n' {
+			// Torn tail: drop the fragment on disk too, so the append
+			// restarts the entry on a clean line boundary and a later
+			// reopen does not mistake the fragment for interior corruption.
+			cut := bytes.LastIndexByte(raw, '\n') + 1
+			if err := os.Truncate(path, int64(cut)); err != nil {
+				return nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+			}
+			raw = raw[:cut]
+		}
 		sc := bufio.NewScanner(bytes.NewReader(raw))
 		sc.Buffer(make([]byte, 1<<20), 1<<24)
-		for sc.Scan() {
+		for lineNo := 1; sc.Scan(); lineNo++ {
 			line := sc.Bytes()
 			if len(line) == 0 {
-				continue
+				continue // blank repair line from an older torn-tail recovery
 			}
 			var e journalEntry
-			if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
-				continue // torn or foreign line: rerun that cell
+			if err := json.Unmarshal(line, &e); err != nil {
+				return nil, fmt.Errorf("journal: %s:%d: corrupt entry: %w", path, lineNo, err)
+			}
+			if e.Key == "" {
+				return nil, fmt.Errorf("journal: %s:%d: entry without a cell key", path, lineNo)
 			}
 			done[e.Key] = e.Run
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("journal: %s: %w", path, err)
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("journal: %w", err)
@@ -67,10 +85,6 @@ func OpenJournal(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
-	}
-	// Ensure the append starts on a fresh line after a torn write.
-	if tornTail {
-		f.Write([]byte("\n"))
 	}
 	return &Journal{f: f, done: done}, nil
 }

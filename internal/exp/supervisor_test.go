@@ -278,6 +278,61 @@ func TestJournalSkipsTornLine(t *testing.T) {
 	}
 }
 
+// TestJournalRejectsCorruptInteriorLine asserts that resume draws a hard
+// line between the one tolerated failure mode — a torn final line from a
+// kill mid-write — and interior corruption: a bit flip in any
+// newline-terminated entry must fail the open with the line's position,
+// never silently rerun the cell inside a sweep presented as resumed.
+func TestJournalRejectsCorruptInteriorLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := chaosOptions()
+	c1 := Cell{Case: config.CaseA, Policy: memctrl.FCFS}.normalize(opt)
+	c2 := Cell{Case: config.CaseB, Policy: memctrl.QoS}.normalize(opt)
+	if err := j.Record(c1.Key(opt), c1, PolicyRun{Case: c1.Case, Policy: c1.Policy}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(c2.Key(opt), c2, PolicyRun{Case: c2.Case, Policy: c2.Policy}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Flip one bit in the middle of the first entry: `{` (0x7b) becomes
+	// `s` (0x73), breaking the JSON while leaving the line structure (and
+	// the intact second entry) alone.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != '{' {
+		t.Fatalf("journal does not start with an object, got %q", raw[0])
+	}
+	raw[0] ^= 0x08
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("corrupt interior line accepted")
+	} else if !strings.Contains(err.Error(), ":1:") {
+		t.Errorf("error %q does not name line 1", err)
+	}
+
+	// A key-less but well-formed line is foreign data, not a sweep cell:
+	// same hard failure, with the position.
+	if err := os.WriteFile(path, []byte("{\"cell\":{}}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("key-less line accepted")
+	} else if !strings.Contains(err.Error(), ":1:") {
+		t.Errorf("error %q does not name line 1", err)
+	}
+}
+
 // TestCellKeyIdentity asserts the canonical config hash separates cells
 // that differ in any result-determining input and is stable for
 // identically-spelled cells.

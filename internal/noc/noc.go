@@ -152,15 +152,17 @@ func (p *Port) Push(t *txn.Transaction, arrived, readyAt sim.Cycle) {
 	}
 	p.fifo = append(p.fifo, packet{t: t, readyAt: readyAt, arrived: arrived, out: -1})
 	if o := p.owner; o != nil {
-		// Only the dormancy window is maintained here, keeping Push
-		// inlinable in the injection and forwarding hot paths. The
-		// kernel-side re-arm is deferred to the router's tick-top sync:
-		// a push always comes from a component that ticks before its
-		// owning router in the same executed cycle, so the sync observes
-		// it before the kernel can fast-forward again.
 		o.queued++
 		if readyAt < o.nextGrantAt {
+			// The push lowers the dormancy window, so the kernel must
+			// hear about it here and now: under the active-ticker list a
+			// dormant router is not ticked at all, so there is no tick-top
+			// sync to pick the push up later. When the window is already
+			// at or below readyAt the kernel's cached bound covers it too
+			// (every lowering of either goes through Push or Wake), and
+			// the re-arm is skipped to keep Push cheap on the hot path.
 			o.nextGrantAt = readyAt
+			o.wake.Rearm(readyAt)
 		}
 	}
 }
@@ -301,11 +303,12 @@ type Router struct {
 	forwarded uint64
 	stalls    uint64 // cycles an arbitrable head existed but no grant fit
 
-	// wake is the router's kernel wake handle: credit wakes and the
-	// tick-top sync push re-arms of nextGrantAt into the kernel's wake
-	// heap through it, so the kernel can fast-forward without polling
-	// NextActivity. Scan-end increases of nextGrantAt are left to the
-	// heap's lazy validation.
+	// wake is the router's kernel wake handle: every lowering of
+	// nextGrantAt — upstream pushes (Port.Push) and credit wakes (Wake) —
+	// is forwarded through it into the kernel's wake heap, so the
+	// active-ticker list knows to tick the router without polling
+	// NextActivity. Scan-end increases of nextGrantAt are reconciled by
+	// the kernel's post-tick re-key.
 	wake sim.WakeHandle
 }
 
@@ -437,13 +440,22 @@ func (r *Router) BindWake(h sim.WakeHandle) { r.wake = h }
 // forwarded to the kernel's wake heap, which is what lets the kernel skip
 // to this router's next grant without polling it.
 func (r *Router) Wake(at sim.Cycle) {
+	if r.queued == 0 {
+		// A credit return to an empty router is moot: there is nothing to
+		// grant into the freed slot. Adopting it anyway would lower
+		// nextGrantAt below `never` with no scan left to recompute it (the
+		// empty tick returns early), and once that cycle passes the stale
+		// low window makes the next Push skip its kernel re-arm — the
+		// router would sleep through the pushed packet's readyAt.
+		return
+	}
 	if at < r.nextGrantAt {
 		r.nextGrantAt = at
 	}
-	// Credit wakes land after this router's tick in their cycle, so the
-	// tick-top sync cannot observe them before the next fast-forward —
-	// they must reach the kernel directly. (Rearm drops values the
-	// kernel's cached bound already covers.)
+	// The re-arm must reach the kernel directly: credit wakes land after
+	// this router's tick in their cycle, and under the active-ticker list
+	// a dormant router is not ticked again until its kernel bound says so.
+	// (Rearm drops values the kernel's cached bound already covers.)
 	r.wake.Rearm(at)
 }
 
@@ -460,6 +472,28 @@ func (r *Router) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 		return now, true
 	}
 	return r.nextGrantAt, true
+}
+
+// SettleRun implements sim.Settler: flush the batched stall accounting at
+// the end of a Run segment by mimicking a dormant tick at end-1 (the last
+// simulated cycle). Under the active-ticker list a router that stays
+// dormant to the horizon is never ticked again, so without this its
+// backfilled stalls for the trailing stretch would be lost. Idempotent,
+// and a no-op in the stepped and force-poll modes, where the tick at
+// end-1 already ran this exact accounting.
+func (r *Router) SettleRun(end sim.Cycle) {
+	if r.queued == 0 || end == 0 || r.lastTick >= end-1 {
+		return
+	}
+	now := end - 1
+	r.accrueStallGap(now)
+	if r.stallFrom <= now {
+		r.stalls++
+		if debugStall != nil {
+			debugStall(r.name, now, 1, false)
+		}
+	}
+	r.lastTick = now
 }
 
 // accrueStallGap back-fills stall cycles for the scan-free stretch
@@ -488,13 +522,10 @@ func (r *Router) Tick(now sim.Cycle) {
 	if r.queued == 0 {
 		return // stallFrom is never: the scan that popped the last packet reset it
 	}
-	// Tick-top sync: push the dormancy window into the kernel's wake
-	// heap. This is the kernel-side half of every Port.Push since the
-	// last tick (pushes keep Push itself inlinable by only touching the
-	// window), and a no-op compare when the cached bound already covers
-	// it. Pushes always precede the owning router's tick within their
-	// executed cycle, so no fast-forward can happen in between.
-	r.wake.Rearm(r.nextGrantAt)
+	// No kernel sync is needed here: every lowering of nextGrantAt
+	// (Port.Push, Wake) re-arms the kernel bound at its source, and the
+	// scan-end recompute below only raises the window relative to the
+	// post-tick re-key the active list performs.
 	if now < r.nextGrantAt && !forceScan {
 		// Dormant: the window proves no grant can occur this cycle, so
 		// the only per-cycle work is the stall accounting the reference

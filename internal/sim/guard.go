@@ -215,6 +215,10 @@ func (k *Kernel) runGuarded(horizon Cycle) error {
 			k.fastForward(horizon)
 		}
 	}
+	// The horizon was reached: flush batched dormant-cycle bookkeeping
+	// exactly as plain Run does (mid-run deadlock returns skip this — a
+	// tripped run's stats are diagnostic, not results).
+	k.settleRun()
 	// A fully parked system fast-forwards to the horizon almost
 	// instantly, so the periodic check may never have seen it; catch the
 	// silent-truncation case on the way out.

@@ -12,20 +12,44 @@
 // the optional Idler interface report when they next have work, and the
 // kernel fast-forwards the clock over stretches where every component is
 // quiescent and no event is due, instead of stepping cycle by cycle
-// through dead time. Any cycle in which anything at all happens is still
-// executed in full — every due event fires, every ticker ticks, in
-// registration order — so skipping is observationally identical to
-// cycle-by-cycle stepping as long as Idler contracts are honored.
+// through dead time.
 //
 // Wake scheduling is push-based: the kernel keeps an indexed min-heap of
 // per-idler cached wake cycles, components re-arm their heap entry through
 // the WakeHandle returned by Register whenever an external action moves
 // their next activity to an earlier cycle, and the fast-forward target is
 // read off the heap top instead of polling every idler's hint each
-// executed cycle. The legacy per-cycle polling sweep survives behind
-// SetForcePoll as the linear reference the differential tests replay
-// against.
+// executed cycle.
+//
+// Executed cycles use the same heap as an active-ticker list: a component
+// is ticked iff its cached wake is at or before the current cycle, and its
+// entry is re-keyed to its exact next activity right after the tick, so
+// dormant components are not even called. This changes the Ticker contract
+// from "ticked every executed cycle" to "ticked every cycle it may act",
+// which imposes two obligations on components:
+//
+//   - Every external action that could make a dormant component act this
+//     cycle or earlier than its cached wake must re-arm the kernel entry
+//     at the moment it happens (see Idler), not at the component's next
+//     tick — there may not be one.
+//
+//   - Per-cycle bookkeeping that a stepped run would accrue on dormant
+//     ticks (stall counters, buffer occupancy integration) must be derived
+//     from elapsed time on the next real tick (the batched-settle pattern)
+//     and, because a run can end mid-dormancy, also settled at the run
+//     horizon via the optional Settler interface.
+//
+// Two reference modes bypass the active list for the differential suites:
+// SetIdleSkip(false) restores full cycle-by-cycle stepping (every ticker
+// ticked every cycle, in registration order), and SetForcePoll replaces
+// both the active list and the heap-driven fast-forward with the legacy
+// linear NextActivity sweep. Among co-due tickers the active list
+// preserves registration order — the SoC pipeline order sources -> DMA ->
+// NoC -> MC -> DRAM -> adapters — so all three modes execute the same
+// cycles' work in the same order.
 package sim
+
+import "fmt"
 
 // Cycle is a point in simulated time, measured in DRAM command-clock cycles.
 type Cycle uint64
@@ -36,13 +60,30 @@ const never = ^Cycle(0)
 
 // Ticker is a component that advances by one cycle at a time.
 type Ticker interface {
-	// Tick advances the component to cycle now. On every executed cycle
-	// the kernel calls Tick exactly once per ticker, in registration
-	// order. When idle skipping is active, cycles covered by every
-	// ticker's NextActivity hint are not executed at all; components
-	// that integrate time (token buckets, buffer drains) must therefore
-	// derive elapsed time from now rather than counting Tick calls.
+	// Tick advances the component to cycle now. In the stepped and
+	// force-poll reference modes the kernel calls Tick exactly once per
+	// ticker per executed cycle, in registration order. In the default
+	// active-list mode a ticker is only called on cycles its cached wake
+	// covers (wake <= now); dormant components are skipped entirely.
+	// Components must therefore derive elapsed time from now rather than
+	// counting Tick calls, and must keep their cached wake a sound lower
+	// bound on their next action (see Idler).
 	Tick(now Cycle)
+}
+
+// Settler is an optional Ticker extension for components that batch
+// per-cycle bookkeeping (stall counters, occupancy integration) across
+// dormant stretches and settle it on their next tick. Because the
+// active-ticker list may leave such a component un-ticked from its last
+// wake to the end of a run, the kernel calls SettleRun(end) when Run
+// reaches its horizon, where end is the first cycle NOT simulated (the
+// horizon). SettleRun must bring all externally observable statistics to
+// exactly the state a stepped run would have after its final tick at
+// end-1, and must be idempotent: it runs in every kernel mode and at the
+// end of every Run segment, including segments where the component was
+// ticked at end-1 already.
+type Settler interface {
+	SettleRun(end Cycle)
 }
 
 // Idler is an optional Ticker extension that enables idle skipping. A
@@ -54,11 +95,13 @@ type Ticker interface {
 //
 // The contract is push-based. The kernel caches each idler's most recent
 // hint in an indexed wake heap and does NOT re-query every hint after
-// every executed cycle; it re-queries an idler only when that idler's
-// cached entry reaches the heap top during a fast-forward probe. The
-// cached entry is therefore required to be a sound LOWER bound on the
-// idler's true next activity at all times, which splits responsibility in
-// two:
+// every executed cycle; it re-queries an idler only right after ticking
+// it (the active-list re-key) or when its cached entry reaches the heap
+// top during a fast-forward probe. The cached entry is therefore required
+// to be a sound LOWER bound on the idler's true next activity at all
+// times — doubly important under the active list, where a too-late bound
+// does not merely skip a cycle but skips the component's Tick on cycles
+// other components execute. The responsibility splits in two:
 //
 //   - Re-arm is mandatory on external wakes. Whenever another component's
 //     action could advance this idler's next action to an EARLIER cycle
@@ -84,7 +127,13 @@ type Ticker interface {
 // NextActivity itself must remain cheap and pure: it is the validation
 // query for the heap top, and (under SetForcePoll) the per-cycle linear
 // reference. Components that cache their wake cycle should answer from
-// the cache in O(1).
+// the cache in O(1). The answer must be sound in ABSOLUTE time: a
+// component whose lazy integration lags `now` (a token bucket whose
+// funded cursor is behind, a buffer whose drain cursor is behind) must
+// anchor its bound at that cursor — e.g. cursor + steps - 1, clamped up
+// to now — never `now + steps` computed from stale state. The heap-top
+// probe RAISES entries from these answers; a bound even one cycle too
+// late starves the component permanently.
 type Idler interface {
 	// NextActivity reports the earliest cycle >= now at which the
 	// component may act on the system, or ok=false if it will never act
@@ -321,14 +370,19 @@ type Kernel struct {
 	// wake-heap id. If any ticker does not implement Idler the kernel
 	// cannot prove quiescence and opaque is set, which disables skipping
 	// entirely.
-	idlers  []Idler
-	wakes   wakeHeap
-	opaque  bool
-	noSkip  bool
-	events  eventHeap
-	seq     uint64
-	started bool
-	skipped uint64
+	idlers []Idler
+	wakes  wakeHeap
+	// settlers are the registered tickers that batch dormant-cycle
+	// bookkeeping; Run calls SettleRun on each when it reaches its
+	// horizon so end-of-run statistics are exact even when the active
+	// list left a component un-ticked over a trailing dormant stretch.
+	settlers []Settler
+	opaque   bool
+	noSkip   bool
+	events   eventHeap
+	seq      uint64
+	started  bool
+	skipped  uint64
 	// hot remembers the idlers that most recently reported immediate
 	// activity (hot[0] newest); querying them first short-circuits the
 	// fast-forward probe on busy stretches, where a small set of
@@ -408,16 +462,23 @@ func (k *Kernel) Register(t Ticker) WakeHandle {
 	if wb, ok := t.(WakeBinder); ok {
 		wb.BindWake(h)
 	}
+	if s, ok := t.(Settler); ok {
+		k.settlers = append(k.settlers, s)
+	}
 	return h
 }
 
-// Rearm lowers idler id's cached wake cycle to at (a buffered
-// decrease-key; see wakeHeap.rearm); a cached wake at or before at is
-// left untouched. Components normally call this through their
-// WakeHandle.
+// Rearm lowers idler id's cached wake cycle to at (a decrease-key; see
+// wakeHeap.rearm); a cached wake at or before at is left untouched.
+// Components normally call this through their WakeHandle. An out-of-range
+// id panics with an *InvariantError: a dropped re-arm is a silently
+// missed wake — the simulation would diverge, not fail — so bad wiring
+// must die loudly instead.
 func (k *Kernel) Rearm(id int, at Cycle) {
 	if id < 0 || id >= len(k.wakes.at) {
-		return
+		panic(invariant(fmt.Sprintf(
+			"sim: Rearm of unregistered idler id %d (%d idlers registered)",
+			id, len(k.wakes.at))))
 	}
 	k.wakes.rearm(id, at)
 }
@@ -457,8 +518,11 @@ func (k *Kernel) Every(period Cycle, fn func(now Cycle)) {
 	k.At(k.now+period, rearm)
 }
 
-// Step advances the simulation by exactly one cycle: due events first, then
-// every registered ticker. Step never skips.
+// Step advances the simulation by exactly one cycle: due events first,
+// then the registered tickers. In the default active-list mode only due
+// tickers — cached wake at or before the current cycle — are called; the
+// stepped (SetIdleSkip(false)), opaque and force-poll modes tick every
+// ticker. Step never skips a cycle.
 func (k *Kernel) Step() {
 	k.started = true
 	for len(k.events) > 0 && k.events[0].at <= k.now {
@@ -469,16 +533,51 @@ func (k *Kernel) Step() {
 			e.argFn(k.now, e.arg)
 		}
 	}
-	for _, t := range k.tickers {
-		t.Tick(k.now)
+	if !k.noSkip && !k.opaque && !forcePoll {
+		k.stepActive()
+	} else {
+		for _, t := range k.tickers {
+			t.Tick(k.now)
+		}
 	}
 	k.now++
+}
+
+// stepActive is Step's tick loop in active-list mode: walk the tickers in
+// registration order, tick only those whose cached wake is due, and
+// re-key each ticked entry to its exact next activity. Reading the wake
+// bound live (not a snapshot) makes same-cycle forward edges work — a
+// source enqueueing into a dormant engine re-arms the engine's entry, and
+// the engine, registered later, sees the lowered bound when the walk
+// reaches it. Backward same-cycle edges need no tick: a stepped run's
+// earlier-registered component had already ticked when the edge fired, so
+// both modes first act on it the next cycle (every backward edge re-arms
+// at now+1 or via a pre-tick event). Because every ticked entry is
+// re-keyed from a live NextActivity query, the heap bounds are exact
+// after each active step, and the fast-forward probe computes the same
+// skip targets as the force-poll linear sweep.
+func (k *Kernel) stepActive() {
+	now := k.now
+	at := k.wakes.at
+	for i, t := range k.tickers {
+		if at[i] > now {
+			continue
+		}
+		t.Tick(now)
+		next, ok := k.idlers[i].NextActivity(now + 1)
+		if !ok {
+			next = never
+		}
+		k.wakes.fix(i, next)
+	}
 }
 
 // Run advances the simulation until the clock reaches horizon (exclusive).
 // When idle skipping is active, quiescent stretches — no event due and
 // every ticker's cached wake strictly in the future — are fast-forwarded
-// instead of executed.
+// instead of executed. On reaching the horizon Run settles every
+// registered Settler, so statistics batched across dormant stretches are
+// exact even for components the active list never ticked again.
 func (k *Kernel) Run(horizon Cycle) {
 	skip := k.IdleSkipActive()
 	for k.now < horizon {
@@ -486,6 +585,17 @@ func (k *Kernel) Run(horizon Cycle) {
 		if skip && k.now < horizon {
 			k.fastForward(horizon)
 		}
+	}
+	k.settleRun()
+}
+
+// settleRun flushes batched dormant-cycle bookkeeping at the end of a Run
+// segment. It runs in every mode: in the stepped and force-poll modes the
+// final executed cycle ticked everyone, so each SettleRun is an idempotent
+// no-op there.
+func (k *Kernel) settleRun() {
+	for _, s := range k.settlers {
+		s.SettleRun(k.now)
 	}
 }
 
@@ -586,10 +696,12 @@ func (k *Kernel) nextWakeHeap(horizon Cycle) Cycle {
 
 // fastForward advances the clock to the earliest upcoming activity —
 // the next due event or the earliest cached wake — capped at horizon-1 so
-// the run's final cycle always executes: components defer bookkeeping
-// (batched stall counters) to their next Tick, and that last tick settles
-// anything accrued over a trailing quiescent stretch. It returns without
-// moving the clock if anything is due now.
+// the run's final cycle always executes: in the stepped and force-poll
+// modes that last cycle ticks every component and settles bookkeeping
+// accrued over a trailing quiescent stretch (the active list instead
+// settles via Settler at the horizon, and keeps the same cap so all three
+// modes execute — and count as skipped — the same cycles). It returns
+// without moving the clock if anything is due now.
 func (k *Kernel) fastForward(horizon Cycle) {
 	if k.busyLatch > 0 {
 		// Provably-safe probe skip: recent back-to-back activity latched

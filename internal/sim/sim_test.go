@@ -495,9 +495,9 @@ func (s *unboundSleeper) Rearm(at Cycle) {
 // TestWakeHeapRequiresRearm documents the contract inversion: a cached
 // component whose external wakes are NOT pushed through its WakeHandle is
 // handled correctly by the SetForcePoll linear reference (which re-reads
-// every hint each executed cycle) but missed by the wake heap — that gap
-// is exactly why BindWake forwarding is mandatory, and why the
-// differential suites run the poll reference against the heap.
+// every hint each executed cycle) but missed by the active-list kernel —
+// that gap is exactly why BindWake forwarding is mandatory, and why the
+// differential suites run the poll reference against the active list.
 func TestWakeHeapRequiresRearm(t *testing.T) {
 	run := func(poll bool) []Cycle {
 		SetForcePoll(poll)
@@ -515,11 +515,162 @@ func TestWakeHeapRequiresRearm(t *testing.T) {
 	if got := run(true); len(got) != 1 || got[0] != 55 {
 		t.Fatalf("poll reference acted at %v, want [55]", got)
 	}
-	// Under the heap the re-armed cycle 55 is skipped over; the sleeper
-	// only acts when the anchor's wake at 990 happens to execute a cycle —
-	// 935 cycles late, which is the equivalence bug the contract forbids.
-	if got := run(false); len(got) != 1 || got[0] != 990 {
-		t.Fatalf("wake heap acted at %v for an unbound sleeper, want the late act [990]", got)
+	// Under the active list the unbound sleeper's kernel entry stays
+	// parked at never, so it is never ticked again and never acts at all —
+	// not even late. (Before the active list it would have acted 935
+	// cycles late, at the anchor's executed cycle 990; now the dropped
+	// re-arm silences it completely, which is the equivalence bug the
+	// contract forbids.)
+	if got := run(false); len(got) != 0 {
+		t.Fatalf("active list acted at %v for an unbound sleeper, want no acts at all", got)
+	}
+}
+
+// TestKernelRearmOutOfRangePanics pins the Rearm wiring check: an
+// out-of-range idler id is a silently missed wake waiting to happen, so
+// it must die with a typed *InvariantError instead of being dropped.
+func TestKernelRearmOutOfRangePanics(t *testing.T) {
+	var k Kernel
+	k.Register(&fakeIdler{wakes: []Cycle{5}})
+	for _, id := range []int{-1, 1, 99} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Rearm(%d) did not panic", id)
+				}
+				if _, ok := r.(*InvariantError); !ok {
+					t.Fatalf("Rearm(%d) panicked with %T (%v), want *InvariantError", id, r, r)
+				}
+			}()
+			k.Rearm(id, 10)
+		}()
+	}
+	// In-range re-arms still work after the checks.
+	k.Rearm(0, 3)
+	if k.wakes.at[0] != 0 { // initial cached wake is 0; 3 is an ignored increase
+		t.Fatalf("valid Rearm broke the cached wake: %d", k.wakes.at[0])
+	}
+}
+
+// tickCounter counts raw Tick calls on top of fakeIdler's scripted acts,
+// exposing the active list's fan-out directly.
+type tickCounter struct {
+	fakeIdler
+	ticks int
+}
+
+func (c *tickCounter) Tick(now Cycle) {
+	c.ticks++
+	c.fakeIdler.Tick(now)
+}
+
+// TestActiveListSkipsDormantTickers pins the tentpole property: on
+// executed cycles, components whose cached wake is in the future are not
+// ticked at all. A component busy every cycle keeps the run executing,
+// while a mostly-dormant neighbor must see only its scheduled wakes (plus
+// the initial validation tick), not the busy component's ~1000 cycles —
+// and must still act on exactly the cycles the stepped reference acts on.
+func TestActiveListSkipsDormantTickers(t *testing.T) {
+	run := func(skip bool) (acted []Cycle, ticks int) {
+		var k Kernel
+		busy := &busyBurst{busyUntil: 1000, lateWake: 1000}
+		dormant := &tickCounter{fakeIdler: fakeIdler{wakes: []Cycle{200, 600}}}
+		k.Register(busy)
+		k.Register(dormant)
+		k.SetIdleSkip(skip)
+		k.Run(1000)
+		return dormant.ticked, dormant.ticks
+	}
+	refActed, refTicks := run(false)
+	fastActed, fastTicks := run(true)
+	if len(refActed) != 2 || len(fastActed) != 2 ||
+		refActed[0] != fastActed[0] || refActed[1] != fastActed[1] {
+		t.Fatalf("acted at %v (stepped %v), want [200 600] in both modes", fastActed, refActed)
+	}
+	if refTicks != 1000 {
+		t.Fatalf("stepped reference ticked the dormant idler %d times, want 1000", refTicks)
+	}
+	if fastTicks > 3 {
+		t.Fatalf("active list ticked the dormant idler %d times, want <= 3 (its wakes plus initial validation)", fastTicks)
+	}
+}
+
+// orderIdler records its tag into a shared log on each scripted wake.
+type orderIdler struct {
+	wakes []Cycle
+	tag   int
+	log   *[]int
+}
+
+func (o *orderIdler) Tick(now Cycle) {
+	if len(o.wakes) > 0 && o.wakes[0] == now {
+		*o.log = append(*o.log, o.tag)
+		o.wakes = o.wakes[1:]
+	}
+}
+
+func (o *orderIdler) NextActivity(now Cycle) (Cycle, bool) {
+	if len(o.wakes) == 0 {
+		return 0, false
+	}
+	if o.wakes[0] <= now {
+		return now, true
+	}
+	return o.wakes[0], true
+}
+
+// TestActiveListPreservesRegistrationOrder pins the co-due ordering
+// guarantee the SoC pipeline depends on: when several components are due
+// on the same cycle, the active list ticks them in registration order,
+// exactly like the stepped reference.
+func TestActiveListPreservesRegistrationOrder(t *testing.T) {
+	run := func(skip bool) []int {
+		var k Kernel
+		var log []int
+		// All three co-due at 100 and 500; tags registered 0,1,2.
+		for tag := 0; tag < 3; tag++ {
+			k.Register(&orderIdler{wakes: []Cycle{100, 500}, tag: tag, log: &log})
+		}
+		k.SetIdleSkip(skip)
+		k.Run(1000)
+		return log
+	}
+	ref, fast := run(false), run(true)
+	want := []int{0, 1, 2, 0, 1, 2}
+	if len(ref) != len(want) || len(fast) != len(want) {
+		t.Fatalf("co-due logs: stepped %v, active %v, want %v", ref, fast, want)
+	}
+	for i := range want {
+		if ref[i] != want[i] || fast[i] != want[i] {
+			t.Fatalf("co-due logs: stepped %v, active %v, want %v", ref, fast, want)
+		}
+	}
+}
+
+// settleRecorder records every SettleRun call the kernel makes.
+type settleRecorder struct {
+	fakeIdler
+	settles []Cycle
+}
+
+func (s *settleRecorder) SettleRun(end Cycle) { s.settles = append(s.settles, end) }
+
+// TestKernelSettlesOnRunExit pins the Settler hook: every Run segment —
+// in every kernel mode — ends with SettleRun(horizon) so batched
+// dormant-cycle bookkeeping can be flushed even when the active list
+// never ticked the component again.
+func TestKernelSettlesOnRunExit(t *testing.T) {
+	for _, skip := range []bool{true, false} {
+		var k Kernel
+		s := &settleRecorder{fakeIdler: fakeIdler{wakes: []Cycle{10}}}
+		k.Register(s)
+		k.SetIdleSkip(skip)
+		k.Run(100)
+		k.RunFor(50)
+		if len(s.settles) != 2 || s.settles[0] != 100 || s.settles[1] != 150 {
+			t.Fatalf("skip=%v: SettleRun calls %v, want [100 150]", skip, s.settles)
+		}
 	}
 }
 

@@ -153,16 +153,31 @@ func (s *DisplaySource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 		// (events) change that.
 		return 0, false
 	}
-	// Ticking at cycle now+g applies g+1 more drain steps. Find the
-	// smallest step count whose extraction frees enough whole bytes.
+	// A tick at cycle c integrates the drain through c+1, so enough space
+	// opens at the first c with c+1-drained >= steps. The bound is
+	// anchored at the drain cursor, not now: a fast-forward probe may
+	// query while the integration lags now, and a now-relative answer
+	// would raise the cached wake past the true cycle (see
+	// RateSource.NextActivity).
 	needFP := s.occFP + s.inflightFP + s.reqFP - s.bufFP
 	needBytes := ceilDiv(needFP, fpOne)
 	steps := ceilDiv(needBytes<<fpShift-s.carryFP, s.drainFP)
 	if steps == 0 {
 		steps = 1
 	}
-	return now + sim.Cycle(steps) - 1, true
+	at := s.drained + sim.Cycle(steps) - 1
+	if at < now {
+		at = now
+	}
+	return at, true
 }
+
+// SettleRun implements sim.Settler: a run horizon can cut a dormant
+// stretch short, leaving the panel drain integrated only up to the last
+// tick or occupancy probe. Flushing the integration to the horizon makes
+// the final UnderrunCycles exact; in the stepped reference modes the
+// final tick already integrated this far, so it is a no-op.
+func (s *DisplaySource) SettleRun(end sim.Cycle) { s.integrateTo(end) }
 
 // Tick drains the panel side and issues refill reads to keep the buffer
 // full, accounting for refills already in flight.
@@ -298,12 +313,24 @@ func (s *CameraSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 		// flight; completions (events) re-trigger evaluation.
 		return 0, false
 	}
+	// Absolute bound anchored at the fill cursor (see the display source's
+	// NextActivity for why now-relative answers are unsound here).
 	steps := ceilDiv(need-s.occFP, s.fillFP)
 	if steps == 0 {
 		steps = 1
 	}
-	return now + sim.Cycle(steps) - 1, true
+	at := s.filled + sim.Cycle(steps) - 1
+	if at < now {
+		at = now
+	}
+	return at, true
 }
+
+// SettleRun implements sim.Settler: flush the sensor-fill integration to
+// the run horizon so the final OverflowBytes accounting is exact even
+// when the source was dormant at the end of the run (see
+// DisplaySource.SettleRun).
+func (s *CameraSource) SettleRun(end sim.Cycle) { s.integrateTo(end) }
 
 // Tick fills the sensor side and issues drain writes.
 func (s *CameraSource) Tick(now sim.Cycle) {

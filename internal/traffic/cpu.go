@@ -34,6 +34,10 @@ type CPUSource struct {
 	reqFP    uint64
 	tokensFP uint64
 	funded   sim.Cycle
+	// saturated marks a tick that ended against a full DMA queue; the
+	// next tick clamps retroactively over the un-ticked stretch (see
+	// RateSource.saturated).
+	saturated bool
 }
 
 // NewCPUSource builds a CPU background source over region r.
@@ -69,7 +73,10 @@ func (s *CPUSource) integrateTo(total sim.Cycle) {
 }
 
 // NextActivity implements sim.Idler: the source acts on the first cycle
-// whose token fill funds one request.
+// whose token fill funds one request. The bound is absolute, anchored at
+// the funding cursor rather than now, so a probe on lazily-integrated
+// state cannot raise the cached wake past the true fill cycle (see
+// RateSource.NextActivity).
 func (s *CPUSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if s.tokensFP >= s.reqFP {
 		if s.engine.PendingSpace() > 0 {
@@ -84,7 +91,11 @@ func (s *CPUSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if steps == 0 {
 		steps = 1
 	}
-	return now + sim.Cycle(steps) - 1, true
+	at := s.funded + sim.Cycle(steps) - 1
+	if at < now {
+		at = now
+	}
+	return at, true
 }
 
 // Tick emits rate-funded requests along the locality-mixed address walk.
@@ -93,12 +104,22 @@ func (s *CPUSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 // fast-forwarded blocked cycles is bit-identical to n blocked
 // single-cycle ticks.
 func (s *CPUSource) Tick(now sim.Cycle) {
+	if s.saturated {
+		// Batched version of the per-cycle saturation clamp (see
+		// RateSource.Tick for the composition argument).
+		s.integrateTo(now)
+		if s.tokensFP > 8*s.reqFP {
+			s.tokensFP = 8 * s.reqFP
+		}
+		s.saturated = false
+	}
 	s.integrateTo(now + 1)
 	for s.tokensFP >= s.reqFP {
 		if s.engine.PendingSpace() == 0 {
 			if s.tokensFP > 8*s.reqFP {
 				s.tokensFP = 8 * s.reqFP
 			}
+			s.saturated = true
 			return
 		}
 		s.engine.Enqueue(s.picker.pick(), s.nextAddr(), s.ReqSize)

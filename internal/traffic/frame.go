@@ -33,7 +33,6 @@ type FrameSource struct {
 	picker kindPicker
 
 	frameStart  sim.Cycle
-	lastNow     sim.Cycle
 	issuedBytes uint64
 	doneBytes   uint64
 	started     bool
@@ -64,10 +63,12 @@ func NewFrameSource(name string, e *dma.Engine, rng *sim.Rand, r Region,
 	})
 	// The frame-rate-based QoS baseline marks transactions urgent when the
 	// core has fallen behind its reference progress. The DMA probes this
-	// at injection time, in the same cycle as Tick, so lastNow is current.
-	e.SetUrgentProbe(func() bool {
+	// at injection time with the injection cycle: under the active-ticker
+	// list the source may not have been ticked that cycle, so the
+	// reference line is evaluated from now, not from source-local state.
+	e.SetUrgentProbe(func(now sim.Cycle) bool {
 		p, _ := s.Progress()
-		return p < s.referenceAt(s.lastNow)
+		return p < s.referenceAt(now)
 	})
 	return s
 }
@@ -127,7 +128,6 @@ func (s *FrameSource) Progress() (float64, sim.Cycle) {
 // Tick starts frames on period boundaries and enqueues the remaining frame
 // bytes as fast as the DMA accepts them.
 func (s *FrameSource) Tick(now sim.Cycle) {
-	s.lastNow = now
 	if !s.started {
 		if now < s.StartOffset {
 			return

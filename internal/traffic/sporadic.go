@@ -102,6 +102,11 @@ type RateSource struct {
 	burstFP  uint64 // Q32 bytes per full burst
 	tokensFP uint64
 	funded   sim.Cycle
+	// saturated records that the last tick ended with the DMA queue full:
+	// a per-cycle reference run would have clamped the bucket on every
+	// blocked cycle since, so the next tick must clamp retroactively
+	// before funding its own cycle (see Tick).
+	saturated bool
 }
 
 // NewRateSource builds a rate-driven source over region r.
@@ -141,7 +146,12 @@ func (s *RateSource) integrateTo(total sim.Cycle) {
 }
 
 // NextActivity implements sim.Idler: the source acts on the first cycle
-// whose token fill completes a burst.
+// whose token fill completes a burst. The bound is computed in absolute
+// time from the funding cursor, NOT relative to now: the kernel's
+// fast-forward probe may query the hint while the bucket integration lags
+// now, and a now-relative answer would push the cached wake past the true
+// fill cycle (an unsound raise the active-ticker list would never
+// recover from).
 func (s *RateSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if s.tokensFP >= s.burstFP {
 		if s.engine.PendingSpace() > 0 {
@@ -154,11 +164,17 @@ func (s *RateSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if s.rateFP == 0 {
 		return 0, false
 	}
+	// A tick at cycle c funds through c+1; the burst completes at the
+	// first c with c+1-funded >= steps.
 	steps := ceilDiv(s.burstFP-s.tokensFP, s.rateFP)
 	if steps == 0 {
 		steps = 1
 	}
-	return now + sim.Cycle(steps) - 1, true
+	at := s.funded + sim.Cycle(steps) - 1
+	if at < now {
+		at = now
+	}
+	return at, true
 }
 
 // Tick accumulates tokens and emits whole bursts when funded. The random
@@ -167,6 +183,17 @@ func (s *RateSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 // properties keep a tick after n fast-forwarded blocked cycles
 // bit-identical to n blocked single-cycle ticks.
 func (s *RateSource) Tick(now sim.Cycle) {
+	if s.saturated {
+		// Every un-ticked cycle since the saturating tick would have
+		// clamped the bucket in the per-cycle reference; one batched
+		// clamp after funding those cycles composes to the same value
+		// (min is affine-compatible: min(min(t+r,c)+r,c) = min(t+2r,c)).
+		s.integrateTo(now)
+		if s.tokensFP > 4*s.burstFP {
+			s.tokensFP = 4 * s.burstFP
+		}
+		s.saturated = false
+	}
 	s.integrateTo(now + 1)
 	for s.tokensFP >= s.burstFP {
 		if s.engine.PendingSpace() == 0 {
@@ -176,6 +203,7 @@ func (s *RateSource) Tick(now sim.Cycle) {
 			if s.tokensFP > 4*s.burstFP {
 				s.tokensFP = 4 * s.burstFP
 			}
+			s.saturated = true
 			return
 		}
 		emitted := uint64(0)

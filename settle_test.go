@@ -1,0 +1,91 @@
+package sara_test
+
+import (
+	"testing"
+
+	"sara"
+	"sara/internal/sim"
+	"sara/internal/traffic"
+)
+
+// TestRunEndSettlesLazyAccounting guards the Run-exit settle hook: under
+// the active-ticker list a component that is dormant when the horizon
+// lands is never ticked again, so every lazily-batched counter — router
+// stalls, DMA injection stalls, display drain and underruns, camera fill
+// and overflow — must be flushed by sim.Settler at the end of Run. The
+// horizons are deliberately off every frame and adaptation boundary so
+// the run ends mid-dormancy, and the counters are read through the plain
+// accessors (no cycle argument), exactly as reports do.
+func TestRunEndSettlesLazyAccounting(t *testing.T) {
+	reproOnFailure(t, "TestRunEndSettlesLazyAccounting")
+	for _, horizon := range []sim.Cycle{30011, 44777} {
+		run := func(skip bool) *sara.System {
+			sys := buildCaseA(sara.QoS, skip)
+			sys.Run(horizon)
+			return sys
+		}
+		ref := run(false)
+		fast := run(true)
+		if got := fast.Kernel().SkippedCycles(); got == 0 {
+			t.Fatalf("horizon %d: no cycles skipped; the run did not exercise dormancy", horizon)
+		}
+
+		var stalls uint64
+		refRouters, fastRouters := ref.Routers(), fast.Routers()
+		for i := range refRouters {
+			rs, fs := refRouters[i].Stalls(), fastRouters[i].Stalls()
+			if rs != fs {
+				t.Errorf("horizon %d: router %s stalls: reference %d, idle-skipping %d",
+					horizon, refRouters[i].Name(), rs, fs)
+			}
+			stalls += rs
+		}
+		if stalls == 0 {
+			t.Fatalf("horizon %d: no router stalls; the workload should backpressure", horizon)
+		}
+
+		var injectStalls uint64
+		for i, u := range ref.Units() {
+			rs, fs := u.Engine.Stats(), fast.Units()[i].Engine.Stats()
+			if rs != fs {
+				t.Errorf("horizon %d: engine %s stats:\n  reference: %+v\n  skipping:  %+v",
+					horizon, u.Label(), rs, fs)
+			}
+			injectStalls += rs.InjectStalls
+		}
+		if injectStalls == 0 {
+			t.Fatalf("horizon %d: no injection stalls; the workload should backpressure", horizon)
+		}
+
+		buffered := 0
+		for i, u := range ref.Units() {
+			switch s := u.Source.(type) {
+			case *traffic.DisplaySource:
+				f := fast.Units()[i].Source.(*traffic.DisplaySource)
+				if s.Occupancy() != f.Occupancy() {
+					t.Errorf("horizon %d: display %s occupancy: reference %v, idle-skipping %v",
+						horizon, u.Label(), s.Occupancy(), f.Occupancy())
+				}
+				if s.UnderrunCycles != f.UnderrunCycles {
+					t.Errorf("horizon %d: display %s underrun cycles: reference %d, idle-skipping %d",
+						horizon, u.Label(), s.UnderrunCycles, f.UnderrunCycles)
+				}
+				buffered++
+			case *traffic.CameraSource:
+				f := fast.Units()[i].Source.(*traffic.CameraSource)
+				if s.Occupancy() != f.Occupancy() {
+					t.Errorf("horizon %d: camera %s occupancy: reference %v, idle-skipping %v",
+						horizon, u.Label(), s.Occupancy(), f.Occupancy())
+				}
+				if s.OverflowBytes() != f.OverflowBytes() {
+					t.Errorf("horizon %d: camera %s overflow bytes: reference %v, idle-skipping %v",
+						horizon, u.Label(), s.OverflowBytes(), f.OverflowBytes())
+				}
+				buffered++
+			}
+		}
+		if buffered == 0 {
+			t.Fatalf("horizon %d: roster has no buffered sources to settle", horizon)
+		}
+	}
+}

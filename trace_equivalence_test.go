@@ -48,9 +48,12 @@ type tracedCredit struct {
 
 // tracedWake is one DMA injection-wake re-arm: engine src re-armed its
 // cached next-injection cycle to at because of cause ('D' delivery, 'C'
-// port credit; enqueues need no re-arm — the engine's Tick gate reads
-// the live queue). The re-arm stream is pure behavior, so a stale or
-// missing wake diverges it instead of silently stalling a core.
+// port credit). Enqueues are not part of this stream: they leave the
+// engine's cached wake alone — the Tick gate reads the live queue — and
+// only nudge the kernel's wake-heap entry so the active-ticker list runs
+// that Tick in the enqueue cycle. The re-arm stream is pure behavior, so
+// a stale or missing wake diverges it instead of silently stalling a
+// core.
 type tracedWake struct {
 	src   int
 	at    sim.Cycle
