@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sara"
 	"sara/internal/exp"
@@ -46,6 +47,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	retries := fs.Int("retries", 0, "rerun a failed run up to this many extra times")
 	journal := fs.String("journal", "", "JSONL checkpoint journal for the supervised figures")
 	resume := fs.Bool("resume", false, "with -journal: serve already-completed runs from the journal")
+	analyze := fs.Bool("analyze", false, "attach the stall-attribution analyzers to every run (serializes workers)")
+	analysisWindow := fs.Uint64("analysis-window", 0, "analyzer aggregation window in cycles (0 = 4 NPI sampling periods)")
+	analysisOut := fs.String("analysis-out", "", "with -analyze: write the windowed reports of figures 5/6/9 here (.csv = CSV sections, else JSON)")
+	monitorAddr := fs.String("monitor", "", "serve the live HTTP run monitor on this address (e.g. :8080)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -54,22 +59,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *analysisOut != "" && !*analyze {
+		fmt.Fprintln(stderr, "saraexp: -analysis-out requires -analyze")
+		return 2
+	}
 
 	opt := sara.ExpOptions{
-		ScaleDiv:  *scale,
-		Seed:      *seed,
-		Refresh:   *refresh,
-		Timeout:   *timeout,
-		MaxCycles: *maxCycles,
-		Retries:   *retries,
-		Journal:   *journal,
-		Resume:    *resume,
+		ScaleDiv:       *scale,
+		Seed:           *seed,
+		Refresh:        *refresh,
+		Timeout:        *timeout,
+		MaxCycles:      *maxCycles,
+		Retries:        *retries,
+		Journal:        *journal,
+		Resume:         *resume,
+		Analyze:        *analyze,
+		AnalysisWindow: *analysisWindow,
+	}
+	if *monitorAddr != "" {
+		mon := sara.NewMonitor()
+		if err := mon.Start(*monitorAddr); err != nil {
+			fmt.Fprintf(stderr, "saraexp: %v\n", err)
+			return 2
+		}
+		defer mon.Close()
+		fmt.Fprintf(stdout, "monitor: http://%s\n", mon.Addr())
+		opt.Monitor = mon
 	}
 
 	failed := 0
+	reports := make(map[string]*sara.AnalysisReport)
+	figNo := 0
 	report := func(runs []sara.PolicyRun) {
 		for _, r := range runs {
 			fmt.Fprint(stdout, exp.FormatRun(r))
+			if r.Analysis != nil {
+				reports[fmt.Sprintf("fig%d-case%s-%v", figNo, r.Case, r.Policy)] = r.Analysis
+			}
 			if r.Err != nil {
 				failed++
 			}
@@ -78,10 +104,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runAll := *fig == 0
 	if runAll || *fig == 5 {
 		fmt.Fprintln(stdout, "=== Fig. 5: NPI of critical cores, test case A, one frame ===")
+		figNo = 5
 		report(sara.Fig5(opt))
 	}
 	if runAll || *fig == 6 {
 		fmt.Fprintln(stdout, "=== Fig. 6: NPI of critical cores, test case B, one frame ===")
+		figNo = 6
 		report(sara.Fig6(opt))
 	}
 	if runAll || *fig == 7 {
@@ -94,11 +122,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if runAll || *fig == 9 {
 		fmt.Fprintln(stdout, "=== Fig. 9: FR-FCFS vs QoS-RB, test case A ===")
+		figNo = 9
 		report(sara.Fig9(opt))
+	}
+	if *analysisOut != "" {
+		if err := writeAnalysis(*analysisOut, reports); err != nil {
+			fmt.Fprintf(stderr, "saraexp: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *analysisOut)
 	}
 	if failed > 0 {
 		fmt.Fprintf(stderr, "saraexp: %d run(s) failed; rerun commands above\n", failed)
 		return 1
 	}
 	return 0
+}
+
+// writeAnalysis writes the figures' windowed observability reports to
+// path: `# label`-separated CSV sections for a .csv suffix, one JSON
+// object otherwise.
+func writeAnalysis(path string, reports map[string]*sara.AnalysisReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return sara.WriteAnalysisCSV(f, reports)
+	}
+	return sara.WriteAnalysisJSON(f, reports)
 }

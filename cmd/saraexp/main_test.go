@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -64,5 +66,44 @@ func TestMaxCyclesFailureDegradesGracefully(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "4 run(s) failed") {
 		t.Errorf("stderr lacks the failure tally:\n%s", errb.String())
+	}
+}
+
+func TestAnalysisOutRequiresAnalyze(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-analysis-out", "x.json"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-analysis-out requires -analyze") {
+		t.Errorf("stderr lacks the diagnosis:\n%s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("usage error wrote to stdout (figures ran anyway): %q", out.String())
+	}
+}
+
+func TestAnalyzedFig9WritesReports(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig9.json")
+	var out, errb strings.Builder
+	code := run([]string{"-fig", "9", "-scale", "2048", "-analyze", "-analysis-window", "4096",
+		"-analysis-out", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &reports); err != nil {
+		t.Fatalf("report is not a JSON object: %v", err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("figure 9 produced no analysis reports")
+	}
+	for label := range reports {
+		if !strings.HasPrefix(label, "fig9-") {
+			t.Errorf("report label %q lacks the fig9- prefix", label)
+		}
 	}
 }

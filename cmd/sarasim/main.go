@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"sara"
 	"sara/internal/exp"
@@ -38,7 +39,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "workload seed")
 	refresh := fs.Bool("refresh", false, "enable LPDDR4 refresh (tREFI/tRFC)")
 	csvPath := fs.String("csv", "", "write per-DMA NPI time series to this CSV file")
+	analyze := fs.Bool("analyze", false, "attach the stall-attribution analyzers")
+	analysisWindow := fs.Uint64("analysis-window", 0, "analyzer aggregation window in cycles (0 = 4 NPI sampling periods)")
+	analysisOut := fs.String("analysis-out", "", "with -analyze: write the windowed report here (.csv = system series CSV, else JSON)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *analysisOut != "" && !*analyze {
+		fmt.Fprintln(stderr, "sarasim: -analysis-out requires -analyze")
 		return 2
 	}
 
@@ -58,10 +66,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	res := sara.RunPolicy(tc, policy, sara.ExpOptions{
-		ScaleDiv:      *scale,
-		MeasureFrames: *frames,
-		Seed:          *seed,
-		Refresh:       *refresh,
+		ScaleDiv:       *scale,
+		MeasureFrames:  *frames,
+		Seed:           *seed,
+		Refresh:        *refresh,
+		Analyze:        *analyze,
+		AnalysisWindow: *analysisWindow,
 	})
 	fmt.Fprint(stdout, exp.FormatRun(res))
 	if res.Err != nil {
@@ -90,7 +100,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *csvPath)
 	}
+	if *analysisOut != "" {
+		if err := writeAnalysis(*analysisOut, res.Analysis); err != nil {
+			fmt.Fprintf(stderr, "sarasim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *analysisOut)
+	}
 	return 0
+}
+
+// writeAnalysis writes the run's windowed observability report: the
+// system-level series as CSV for a .csv suffix, the full report as JSON
+// otherwise.
+func writeAnalysis(path string, rep *sara.AnalysisReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return rep.WriteCSV(f)
+	}
+	return sara.WriteAnalysisJSON(f, map[string]*sara.AnalysisReport{"run": rep})
 }
 
 func writeCSV(path string, run sara.PolicyRun) error {

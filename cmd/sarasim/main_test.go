@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -43,5 +45,53 @@ func TestUnwritableCSVFails(t *testing.T) {
 	code := run([]string{"-scale", "2048", "-csv", filepath.Join(t.TempDir(), "no", "such", "dir.csv")}, &out, &errb)
 	if code != 1 {
 		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestAnalysisOutRequiresAnalyze(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-analysis-out", "x.json"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-analysis-out requires -analyze") {
+		t.Errorf("stderr lacks the diagnosis:\n%s", errb.String())
+	}
+}
+
+func TestAnalyzeWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "rep.json")
+	var out, errb strings.Builder
+	code := run([]string{"-case", "A", "-policy", "qos", "-scale", "2048",
+		"-analyze", "-analysis-window", "4096", "-analysis-out", jsonPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &reports); err != nil {
+		t.Fatalf("report is not a JSON object: %v", err)
+	}
+	if _, ok := reports["run"]; !ok {
+		t.Fatalf("report lacks the \"run\" entry; keys: %v", reports)
+	}
+
+	csvPath := filepath.Join(dir, "rep.csv")
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-case", "A", "-policy", "qos", "-scale", "2048",
+		"-analyze", "-analysis-window", "4096", "-analysis-out", csvPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("CSV run: exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "worst_npi") {
+		t.Errorf("system CSV lacks the worst_npi column:\n%s", csv)
 	}
 }

@@ -46,8 +46,81 @@ func main() {
 
 // cliOptions carries one invocation's parsed flags to the sweep funcs.
 type cliOptions struct {
-	opt  exp.Options // fidelity + supervisor budgets (timeout, journal, ...)
-	cell exp.Cell    // the -sweep cell target
+	opt  exp.Options   // fidelity + supervisor budgets (timeout, journal, ...)
+	cell exp.Cell      // the -sweep cell target
+	sink *analysisSink // -analyze / -monitor / -analysis-out wiring
+}
+
+// analysisSink wires -analyze and -monitor into the sweeps and collects
+// the labeled reports -analysis-out writes. The RunCells-backed sweeps
+// (seeds, cell) get their analyzers from exp.Options and only deposit
+// reports here; the direct-build ablation sweeps attach per system via
+// attach, which also closes the previous system's analyzer first — the
+// trace edges are process-global, one live analyzer at a time.
+type analysisSink struct {
+	enabled bool
+	window  uint64
+	mon     *sara.Monitor
+	prefix  string
+	seq     int
+	reports map[string]*sara.AnalysisReport
+
+	az    *sara.Analyzer
+	h     *sara.MonitorRun
+	label string
+}
+
+// active reports whether any analysis wiring is on.
+func (s *analysisSink) active() bool { return s != nil && (s.enabled || s.mon != nil) }
+
+// attach closes the previous system's analyzer and arms one on sys.
+func (s *analysisSink) attach(sys *core.System) {
+	if !s.active() {
+		return
+	}
+	s.close()
+	s.label = fmt.Sprintf("%s#%d", s.prefix, s.seq)
+	s.seq++
+	s.h = s.mon.StartRun(s.label)
+	aopt := sara.AnalysisOptions{Window: sara.Cycle(s.window), Edges: s.enabled}
+	if s.h != nil {
+		aopt.Publish = s.h.Publish
+	}
+	s.az = sara.AttachAnalyzer(sys, aopt)
+}
+
+// close detaches the live analyzer, harvesting its report.
+func (s *analysisSink) close() {
+	if s == nil || s.az == nil {
+		return
+	}
+	s.az.Detach()
+	if s.enabled {
+		s.reports[s.label] = s.az.Report()
+	}
+	s.h.Finish(true)
+	s.az, s.h = nil, nil
+}
+
+// deposit records a RunCells-produced report under label.
+func (s *analysisSink) deposit(label string, rep *sara.AnalysisReport) {
+	if s != nil && rep != nil {
+		s.reports[label] = rep
+	}
+}
+
+// writeReports writes the collected reports to path: CSV sections for a
+// .csv suffix, one JSON object otherwise.
+func (s *analysisSink) writeReports(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return sara.WriteAnalysisCSV(f, s.reports)
+	}
+	return sara.WriteAnalysisJSON(f, s.reports)
 }
 
 // sweeps is the dispatch table; -sweep is validated against it up front.
@@ -93,7 +166,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	saturated := fs.Bool("saturated", false, "cell sweep: bandwidth-bound saturated variant")
 	warmup := fs.Int("warmup", 0, "cell sweep: warmup frames before measurement")
 	measure := fs.Int("measure", 1, "cell sweep: measured frames")
+	analyze := fs.Bool("analyze", false, "attach the stall-attribution analyzers (serializes workers)")
+	analysisWindow := fs.Uint64("analysis-window", 0, "analyzer aggregation window in cycles (0 = 4 NPI sampling periods)")
+	analysisOut := fs.String("analysis-out", "", "with -analyze: write the windowed reports here (.csv = CSV sections, else JSON)")
+	monitorAddr := fs.String("monitor", "", "serve the live HTTP sweep monitor on this address (e.g. :8080)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *analysisOut != "" && !*analyze {
+		fmt.Fprintln(stderr, "sarasweep: -analysis-out requires -analyze")
 		return 2
 	}
 
@@ -121,16 +202,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	o := cliOptions{
 		opt: exp.Options{
-			ScaleDiv:      *scale,
-			Refresh:       *refresh,
-			Seed:          *seed,
-			WarmupFrames:  *warmup,
-			MeasureFrames: *measure,
-			Timeout:       *timeout,
-			MaxCycles:     *maxCycles,
-			Retries:       *retries,
-			Journal:       *journal,
-			Resume:        *resume,
+			ScaleDiv:       *scale,
+			Refresh:        *refresh,
+			Seed:           *seed,
+			WarmupFrames:   *warmup,
+			MeasureFrames:  *measure,
+			Timeout:        *timeout,
+			MaxCycles:      *maxCycles,
+			Retries:        *retries,
+			Journal:        *journal,
+			Resume:         *resume,
+			Analyze:        *analyze,
+			AnalysisWindow: *analysisWindow,
 		},
 		cell: exp.Cell{
 			Case:         tc,
@@ -140,8 +223,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Scale:        *socScale,
 			Saturated:    *saturated,
 		},
+		sink: &analysisSink{
+			enabled: *analyze,
+			window:  *analysisWindow,
+			prefix:  *sweep,
+			reports: make(map[string]*sara.AnalysisReport),
+		},
 	}
-	if err := fn(o, stdout); err != nil {
+	if *monitorAddr != "" {
+		mon := sara.NewMonitor()
+		if err := mon.Start(*monitorAddr); err != nil {
+			fmt.Fprintf(stderr, "sarasweep: %v\n", err)
+			return 2
+		}
+		defer mon.Close()
+		fmt.Fprintf(stdout, "monitor: http://%s\n", mon.Addr())
+		o.sink.mon = mon
+		o.opt.Monitor = mon
+	}
+	err = fn(o, stdout)
+	o.sink.close()
+	if err == nil && *analysisOut != "" {
+		if err = o.sink.writeReports(*analysisOut); err == nil {
+			fmt.Fprintf(stdout, "wrote %s\n", *analysisOut)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(stderr, "sarasweep: %v\n", err)
 		return 1
 	}
@@ -149,12 +256,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // build constructs cfg's system with the -timeout / -max-cycles budgets
-// armed (a no-op watchdog-free build when neither is set).
+// armed (a no-op watchdog-free build when neither is set) and, under
+// -analyze / -monitor, an analyzer attached.
 func (o cliOptions) build(cfg core.Config) *core.System {
 	sys := sara.Build(cfg)
 	if wd := o.opt.Watchdog(); wd != nil {
 		sys.SetWatchdog(wd)
 	}
+	o.sink.attach(sys)
 	return sys
 }
 
@@ -342,6 +451,9 @@ func sweepSeeds(o cliOptions, w io.Writer) error {
 	for _, policy := range []memctrl.PolicyKind{memctrl.QoS, memctrl.FCFS} {
 		runs := exp.RunSeeds(config.CaseA, policy, seeds, o.opt)
 		fmt.Fprint(w, exp.FormatSeedSummary(runs))
+		for i, r := range runs {
+			o.sink.deposit(fmt.Sprintf("%v-seed%d", policy, seeds[i]), r.Analysis)
+		}
 		for _, re := range exp.Failed(runs) {
 			failed++
 			fmt.Fprintln(w, re.Error())
@@ -362,6 +474,7 @@ func sweepCell(o cliOptions, w io.Writer) error {
 		return err
 	}
 	fmt.Fprint(w, exp.FormatRun(runs[0]))
+	o.sink.deposit(o.cell.String(), runs[0].Analysis)
 	if runs[0].Err != nil {
 		return runs[0].Err
 	}

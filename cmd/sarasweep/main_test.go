@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -95,5 +96,49 @@ func TestCellJournalResume(t *testing.T) {
 	if first.String() != second.String() {
 		t.Errorf("resumed output not byte-identical:\nfirst:\n%s\nsecond:\n%s",
 			first.String(), second.String())
+	}
+}
+
+func TestAnalysisOutRequiresAnalyze(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(append(fastCell, "-analysis-out", "x.json"), &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-analysis-out requires -analyze") {
+		t.Errorf("stderr lacks the diagnosis:\n%s", errb.String())
+	}
+}
+
+func TestAnalyzedCellWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rep.json")
+	var out, errb strings.Builder
+	code := run(append(fastCell, "-analyze", "-analysis-window", "4096", "-analysis-out", path), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("output lacks the report confirmation:\n%s", out.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &reports); err != nil {
+		t.Fatalf("report is not a JSON object: %v", err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("cell sweep wrote %d reports, want 1; keys: %v", len(reports), reports)
+	}
+}
+
+func TestMonitorFlagServesStatus(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(append(append([]string{}, fastCell...), "-monitor", "127.0.0.1:0"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "monitor: http://127.0.0.1:") {
+		t.Errorf("output lacks the monitor address line:\n%s", out.String())
 	}
 }

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"sara/internal/sim"
+)
+
+// Snapshot is the live view of one in-flight run at a window boundary:
+// the monitor's unit of currency, also usable directly via
+// Options.Publish.
+type Snapshot struct {
+	Cycle         sim.Cycle          `json:"cycle"`
+	Samples       int                `json:"samples"`
+	WorstNPI      float64            `json:"worst_npi"`
+	BandwidthGBps float64            `json:"bandwidth_gbps"`
+	BlackoutDuty  float64            `json:"blackout_duty"`
+	NoCStallFrac  float64            `json:"noc_stall_frac"`
+	Backpressure  float64            `json:"backpressure"`
+	NPI           map[string]float64 `json:"npi"`
+	RouterStall   map[string]float64 `json:"router_stall"`
+}
+
+// Monitor is the lightweight HTTP live monitor for an in-flight sweep.
+// Runs register through StartRun, publish Snapshots from their analyzer's
+// window sampler, and report completion; the monitor serves progress and
+// the latest snapshots as JSON:
+//
+//	GET /            human-oriented text index
+//	GET /api/status  {"planned":N,"running":N,"done":N,"failed":N}
+//	GET /api/runs    [{"label":...,"state":...,"snapshot":{...}}, ...]
+//	GET /api/run?label=L   one run's entry
+//
+// All methods are safe for concurrent use; a nil *Monitor (monitoring
+// disabled) accepts every call as a no-op, so callers never need to
+// branch.
+type Monitor struct {
+	mu      sync.Mutex
+	planned int
+	order   []string
+	runs    map[string]*RunStatus
+	ln      net.Listener
+	srv     *http.Server
+}
+
+// RunStatus is one run's monitored state.
+type RunStatus struct {
+	Label    string    `json:"label"`
+	State    string    `json:"state"` // "running", "done" or "failed"
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}
+
+// NewMonitor returns a monitor with no listener; call Start to serve.
+func NewMonitor() *Monitor {
+	return &Monitor{runs: make(map[string]*RunStatus)}
+}
+
+// Start listens on addr (host:port; ":0" picks a free port — see Addr)
+// and serves the monitor endpoints until Close.
+func (m *Monitor) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("analysis: monitor listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", m.handleIndex)
+	mux.HandleFunc("/api/status", m.handleStatus)
+	mux.HandleFunc("/api/runs", m.handleRuns)
+	mux.HandleFunc("/api/run", m.handleRun)
+	m.mu.Lock()
+	m.ln = ln
+	m.srv = &http.Server{Handler: mux}
+	m.mu.Unlock()
+	go m.srv.Serve(ln)
+	return nil
+}
+
+// Addr reports the listener's address (useful with ":0"), or "" before
+// Start.
+func (m *Monitor) Addr() string {
+	if m == nil {
+		return ""
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Close shuts the HTTP server down. Safe on a nil or never-started
+// monitor.
+func (m *Monitor) Close() error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	srv := m.srv
+	m.srv, m.ln = nil, nil
+	m.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// AddPlanned raises the planned-run count /api/status reports against.
+func (m *Monitor) AddPlanned(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.planned += n
+	m.mu.Unlock()
+}
+
+// StartRun registers a run as in-flight and returns its publish handle.
+// Re-registering a label (a retried cell) resets its entry.
+func (m *Monitor) StartRun(label string) *RunHandle {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	if _, ok := m.runs[label]; !ok {
+		m.order = append(m.order, label)
+	}
+	m.runs[label] = &RunStatus{Label: label, State: "running"}
+	m.mu.Unlock()
+	return &RunHandle{m: m, label: label}
+}
+
+// RunHandle publishes one run's snapshots and final state. A nil handle
+// (no monitor) accepts every call as a no-op.
+type RunHandle struct {
+	m     *Monitor
+	label string
+}
+
+// Publish records snap as the run's latest live view.
+func (h *RunHandle) Publish(snap Snapshot) {
+	if h == nil {
+		return
+	}
+	h.m.mu.Lock()
+	if r := h.m.runs[h.label]; r != nil {
+		r.Snapshot = &snap
+	}
+	h.m.mu.Unlock()
+}
+
+// Finish marks the run done (or failed).
+func (h *RunHandle) Finish(ok bool) {
+	if h == nil {
+		return
+	}
+	state := "done"
+	if !ok {
+		state = "failed"
+	}
+	h.m.mu.Lock()
+	if r := h.m.runs[h.label]; r != nil {
+		r.State = state
+	}
+	h.m.mu.Unlock()
+}
+
+// status is the /api/status payload.
+type status struct {
+	Planned int `json:"planned"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+}
+
+func (m *Monitor) snapshotStatus() status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := status{Planned: m.planned}
+	for _, r := range m.runs {
+		switch r.State {
+		case "running":
+			st.Running++
+		case "done":
+			st.Done++
+		case "failed":
+			st.Failed++
+		}
+	}
+	return st
+}
+
+func (m *Monitor) snapshotRuns() []*RunStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*RunStatus, 0, len(m.order))
+	for _, l := range m.order {
+		r := *m.runs[l]
+		if r.Snapshot != nil {
+			snap := *r.Snapshot
+			r.Snapshot = &snap
+		}
+		out = append(out, &r)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (m *Monitor) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, m.snapshotStatus())
+}
+
+func (m *Monitor) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, m.snapshotRuns())
+}
+
+func (m *Monitor) handleRun(w http.ResponseWriter, req *http.Request) {
+	label := req.URL.Query().Get("label")
+	m.mu.Lock()
+	r, ok := m.runs[label]
+	var cp RunStatus
+	if ok {
+		cp = *r
+		if cp.Snapshot != nil {
+			snap := *cp.Snapshot
+			cp.Snapshot = &snap
+		}
+	}
+	m.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown run %q", label), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, &cp)
+}
+
+func (m *Monitor) handleIndex(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	st := m.snapshotStatus()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "sara sweep monitor\n\nplanned %d  running %d  done %d  failed %d\n\n",
+		st.Planned, st.Running, st.Done, st.Failed)
+	for _, r := range m.snapshotRuns() {
+		if r.Snapshot != nil {
+			fmt.Fprintf(w, "%-8s %s  cycle %d  worstNPI %.3f  bw %.2f GB/s\n",
+				r.State, r.Label, r.Snapshot.Cycle, r.Snapshot.WorstNPI, r.Snapshot.BandwidthGBps)
+		} else {
+			fmt.Fprintf(w, "%-8s %s\n", r.State, r.Label)
+		}
+	}
+	fmt.Fprint(w, "\nendpoints: /api/status /api/runs /api/run?label=L\n")
+}

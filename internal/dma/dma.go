@@ -28,26 +28,98 @@ import (
 	"sara/internal/txn"
 )
 
-// debugInject, when set, observes every injection (tests only).
-var debugInject func(now sim.Cycle, source int, id uint64, addr uint64)
+// The injection and injection-wake trace edges follow the registry
+// contract shared with noc and memctrl (see the hook block in
+// internal/noc/noc.go): HookX(fn) subscribes fn alongside other
+// observers and returns its detach func, SetDebugX(fn) is the legacy
+// single-observer installer on one managed slot, and with no subscribers
+// the fast-path pointer is nil so the disabled path stays zero-cost.
+// Registration is single-threaded and the edges are process-global.
 
-// SetDebugInject installs the injection trace hook (equivalence tests
-// only; not for concurrent use).
-func SetDebugInject(fn func(now sim.Cycle, source int, id uint64, addr uint64)) { debugInject = fn }
+// InjectFn observes one injection: which engine injected which
+// transaction (id, address) into its NoC port at now.
+type InjectFn = func(now sim.Cycle, source int, id uint64, addr uint64)
 
-// debugWake, when set, observes every injection-wake re-arm of the cached
-// next-injection cycle: which engine re-armed to at, and why — 'D' for a
-// completion delivery, 'C' for a port credit return (tests only; the
-// enqueue edge re-arms only the kernel's wake entry, never the cache —
-// the Tick gate reads the live queue — so it has no wake to trace).
-var debugWake func(source int, at sim.Cycle, cause byte)
+// debugInject, when non-nil, observes every injection.
+var debugInject InjectFn
 
-// SetDebugWake installs the injection-wake trace hook (equivalence tests
-// only; not for concurrent use). The re-arm stream is a function of the
-// simulated behavior alone, so it must be bit-identical between the
-// idle-skipping run and the stepped force-scan reference — a stale or
-// missing wake diverges this trace instead of silently stalling a core.
-func SetDebugWake(fn func(source int, at sim.Cycle, cause byte)) { debugWake = fn }
+var injectHooks sim.HookList[InjectFn]
+
+// HookInject subscribes fn to the injection edge and returns its detach
+// func.
+func HookInject(fn InjectFn) (detach func()) {
+	return injectHooks.Attach(fn, &debugInject, func(fns []InjectFn) InjectFn {
+		return func(now sim.Cycle, source int, id uint64, addr uint64) {
+			for _, f := range fns {
+				f(now, source, id, addr)
+			}
+		}
+	})
+}
+
+var legacyInject func()
+
+// SetDebugInject installs fn as the legacy injection observer (nil
+// uninstalls).
+func SetDebugInject(fn InjectFn) {
+	if fn == nil {
+		setLegacy(&legacyInject, nil)
+		return
+	}
+	setLegacy(&legacyInject, func() func() { return HookInject(fn) })
+}
+
+// WakeFn observes one injection-wake re-arm of the cached next-injection
+// cycle: which engine re-armed to at, and why — 'D' for a completion
+// delivery, 'C' for a port credit return. The enqueue edge re-arms only
+// the kernel's wake entry, never the cache — the Tick gate reads the
+// live queue — so it has no wake to trace.
+type WakeFn = func(source int, at sim.Cycle, cause byte)
+
+// debugWake, when non-nil, observes every injection-wake re-arm. The
+// re-arm stream is a function of the simulated behavior alone, so it must
+// be bit-identical between the idle-skipping run and the stepped
+// force-scan reference — a stale or missing wake diverges this trace
+// instead of silently stalling a core.
+var debugWake WakeFn
+
+var wakeHooks sim.HookList[WakeFn]
+
+// HookWake subscribes fn to the injection-wake edge and returns its
+// detach func.
+func HookWake(fn WakeFn) (detach func()) {
+	return wakeHooks.Attach(fn, &debugWake, func(fns []WakeFn) WakeFn {
+		return func(source int, at sim.Cycle, cause byte) {
+			for _, f := range fns {
+				f(source, at, cause)
+			}
+		}
+	})
+}
+
+var legacyWake func()
+
+// SetDebugWake installs fn as the legacy injection-wake observer (nil
+// uninstalls).
+func SetDebugWake(fn WakeFn) {
+	if fn == nil {
+		setLegacy(&legacyWake, nil)
+		return
+	}
+	setLegacy(&legacyWake, func() func() { return HookWake(fn) })
+}
+
+// setLegacy mirrors noc.setLegacy: detach the previous legacy
+// subscription, then install the replacement when attach is non-nil.
+func setLegacy(slot *func(), attach func() func()) {
+	if *slot != nil {
+		(*slot)()
+		*slot = nil
+	}
+	if attach != nil {
+		*slot = attach()
+	}
+}
 
 // forceScan, when set, disables the wakeAt dormancy short-circuit so Tick
 // re-inspects the queue, window and port every cycle — the per-cycle

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sara/internal/analysis"
 	"sara/internal/config"
 	"sara/internal/core"
 	"sara/internal/memctrl"
@@ -71,6 +72,20 @@ type Options struct {
 	Resume bool
 	// Chaos injects faults per cell (tests only; see ChaosFunc).
 	Chaos ChaosFunc
+
+	// Analyze attaches the stall-attribution analyzers (edge layer
+	// included) to every cell and records an analysis.Report in each
+	// PolicyRun. The trace-hook edges are process-global, so an analyzed
+	// sweep runs its cells serially (apply forces Workers to 1).
+	Analyze bool
+	// AnalysisWindow overrides the analyzer aggregation window in cycles
+	// (0 = four NPI sampling periods).
+	AnalysisWindow uint64
+	// Monitor, when non-nil, receives each cell's progress and live
+	// windowed snapshots. Monitoring alone attaches sampling-only
+	// analyzers (no process-global edges), so it composes with parallel
+	// workers; combine with Analyze for edge-layer snapshots too.
+	Monitor *analysis.Monitor
 }
 
 // apply fills defaults.
@@ -83,6 +98,11 @@ func (o Options) apply() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Analyze {
+		// The analyzer's edge layer subscribes to process-global trace
+		// edges that cannot tell concurrent systems apart.
+		o.Workers = 1
 	}
 	return o
 }
@@ -177,6 +197,10 @@ type PolicyRun struct {
 	RefreshDuty float64 `json:"refresh_duty,omitempty"`
 	// CriticalCores lists the cores the corresponding paper figure plots.
 	CriticalCores []string `json:"critical_cores,omitempty"`
+	// Analysis carries the windowed observability report when the run
+	// executed with Options.Analyze; it round-trips through the journal
+	// like every other field.
+	Analysis *analysis.Report `json:"analysis,omitempty"`
 	// Err, under the run supervisor, reports a contained failure: the
 	// cell panicked, timed out or tripped the livelock watchdog. A run
 	// with Err set carries no measurements.

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sara/internal/analysis"
 	"sara/internal/config"
 	"sara/internal/core"
 	"sara/internal/memctrl"
@@ -223,8 +224,11 @@ func runCell(c Cell, opt Options) PolicyRun {
 	return PolicyRun{Case: c.Case, Policy: c.Policy, Err: last}
 }
 
-// runCellOnce builds, arms and measures the cell's system once.
+// runCellOnce builds, arms and measures the cell's system once. With
+// analysis or monitoring enabled it attaches the analyzer right after the
+// build — before any cycle runs — and folds the report into the run.
 func runCellOnce(c Cell, opt Options, attempt int) (run PolicyRun, rerr *RunError) {
+	var mon *analysis.RunHandle
 	defer func() {
 		if r := recover(); r != nil {
 			rerr = &RunError{
@@ -234,9 +238,22 @@ func runCellOnce(c Cell, opt Options, attempt int) (run PolicyRun, rerr *RunErro
 				Repro:  c.Repro(opt),
 			}
 		}
+		if rerr != nil {
+			mon.Finish(false)
+		}
 	}()
 	cfg := c.Config(opt)
 	sys := core.Build(cfg)
+	var az *analysis.Analyzer
+	if opt.Analyze || opt.Monitor != nil {
+		mon = opt.Monitor.StartRun(c.String())
+		aopt := analysis.Options{Window: sim.Cycle(opt.AnalysisWindow), Edges: opt.Analyze}
+		if mon != nil {
+			aopt.Publish = mon.Publish
+		}
+		az = analysis.Attach(sys, aopt)
+		defer az.Detach()
+	}
 	if opt.Chaos != nil {
 		opt.Chaos(c, attempt).arm(sys)
 	}
@@ -252,6 +269,10 @@ func runCellOnce(c Cell, opt Options, attempt int) (run PolicyRun, rerr *RunErro
 		}
 		return PolicyRun{}, rerr
 	}
+	if opt.Analyze {
+		run.Analysis = az.Report()
+	}
+	mon.Finish(true)
 	return run, nil
 }
 
@@ -278,6 +299,7 @@ func RunCells(cells []Cell, opt Options) ([]PolicyRun, error) {
 		defer j.Close()
 	}
 	out := make([]PolicyRun, len(cells))
+	opt.Monitor.AddPlanned(len(cells))
 	var killed atomic.Bool
 	opt.forEach(len(cells), func(i int) {
 		c := cells[i].normalize(opt)
@@ -286,6 +308,9 @@ func RunCells(cells []Cell, opt Options) ([]PolicyRun, error) {
 			if run, ok := j.Lookup(key); ok {
 				run.FromJournal = true
 				out[i] = run
+				// A journal-served cell never runs; its progress entry
+				// goes straight to done.
+				opt.Monitor.StartRun(c.String()).Finish(true)
 				return
 			}
 		}

@@ -728,12 +728,50 @@ func (c *Controller) allowPrecharge(e *entry) bool {
 	return e.t.Priority >= c.cfg.Delta && e.t.Priority > hitPrio
 }
 
-// debugTrace, when set, observes every issued command (tests only).
-var debugTrace func(ch int, now sim.Cycle, id uint64, kind byte)
+// TraceFn observes one issued DRAM command on channel ch at cycle now:
+// kind is 'A' (activate), 'P' (precharge), 'C' (CAS) or 'R' (refresh,
+// id 0); id is the transaction the command serves. The edge follows the
+// registry contract shared with noc and dma (see the hook block in
+// internal/noc/noc.go): HookTrace subscribes alongside other observers,
+// SetDebugTrace is the legacy single-observer installer, a nil fast-path
+// pointer keeps the disabled path zero-cost, and registration is
+// single-threaded on a process-global edge.
+type TraceFn = func(ch int, now sim.Cycle, id uint64, kind byte)
 
-// SetDebugTrace installs the command trace hook (equivalence tests only;
-// not for concurrent use).
-func SetDebugTrace(fn func(ch int, now sim.Cycle, id uint64, kind byte)) { debugTrace = fn }
+// debugTrace, when non-nil, observes every issued command.
+var debugTrace TraceFn
+
+var traceHooks sim.HookList[TraceFn]
+
+// HookTrace subscribes fn to the command edge and returns its detach
+// func.
+func HookTrace(fn TraceFn) (detach func()) {
+	return traceHooks.Attach(fn, &debugTrace, func(fns []TraceFn) TraceFn {
+		return func(ch int, now sim.Cycle, id uint64, kind byte) {
+			for _, f := range fns {
+				f(ch, now, id, kind)
+			}
+		}
+	})
+}
+
+var legacyTrace func()
+
+// SetDebugTrace installs fn as the legacy command observer (nil
+// uninstalls).
+func SetDebugTrace(fn TraceFn) {
+	if fn == nil {
+		if legacyTrace != nil {
+			legacyTrace()
+			legacyTrace = nil
+		}
+		return
+	}
+	if legacyTrace != nil {
+		legacyTrace()
+	}
+	legacyTrace = HookTrace(fn)
+}
 
 // issue performs e's next command at cycle now.
 func (c *Controller) issue(best candidate, now sim.Cycle) {

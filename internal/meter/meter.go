@@ -90,15 +90,21 @@ func (m *LatencyMeter) NPI(sim.Cycle) float64 {
 type BandwidthMeter struct {
 	// Target is the required bandwidth in bytes per cycle.
 	Target float64
-	// Margin scales the target for the NPI ratio; defaults to 0.92.
+	// Margin scales the target for the NPI ratio; NewBandwidthMeter sets
+	// it to DefaultMargin.
 	Margin  float64
 	counter *stats.Counter
 }
 
+// DefaultMargin is the provisioning margin NewBandwidthMeter applies to
+// the target rate. The constructor and this doc share the constant so
+// they cannot drift apart again.
+const DefaultMargin = 0.88
+
 // NewBandwidthMeter returns a meter with the given target (bytes/cycle)
-// measured over window cycles.
+// measured over window cycles and Margin set to DefaultMargin.
 func NewBandwidthMeter(target float64, window sim.Cycle) *BandwidthMeter {
-	return &BandwidthMeter{Target: target, Margin: 0.88, counter: stats.NewCounter(window, 16)}
+	return &BandwidthMeter{Target: target, Margin: DefaultMargin, counter: stats.NewCounter(window, 16)}
 }
 
 // ObserveBytes records n completed bytes at cycle now.

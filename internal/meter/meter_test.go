@@ -188,3 +188,13 @@ func TestStallAttribution(t *testing.T) {
 		t.Fatalf("attribution (%v, %v), want (0, 0.1)", r, c)
 	}
 }
+
+func TestBandwidthMeterDefaultMargin(t *testing.T) {
+	m := NewBandwidthMeter(1.0, 1024)
+	if m.Margin != DefaultMargin {
+		t.Fatalf("constructor Margin %v, want DefaultMargin %v", m.Margin, DefaultMargin)
+	}
+	if DefaultMargin != 0.88 {
+		t.Fatalf("DefaultMargin %v, want the documented 0.88", DefaultMargin)
+	}
+}

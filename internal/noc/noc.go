@@ -170,6 +170,9 @@ func (p *Port) Push(t *txn.Transaction, arrived, readyAt sim.Cycle) {
 // Len reports the queued packet count.
 func (p *Port) Len() int { return len(p.fifo) }
 
+// Depth reports the FIFO capacity; Len/Depth is the port's occupancy.
+func (p *Port) Depth() int { return p.depth }
+
 // pop removes the head packet at cycle now. Popping a full FIFO returns a
 // credit to the upstream router, which can use the freed slot from the
 // next cycle on.
@@ -312,31 +315,135 @@ type Router struct {
 	wake sim.WakeHandle
 }
 
-// debugStall, when set, observes every stall accrual (tests only).
-var debugStall func(name string, now sim.Cycle, n uint64, backfill bool)
+// The trace edges below follow the registry contract shared by noc, dma
+// and memctrl: each edge is a package-level function pointer that the hot
+// path nil-checks, multiplexed by a sim.HookList so several observers can
+// coexist. HookX(fn) subscribes fn and returns its detach function;
+// SetDebugX(fn) is the legacy single-observer installer the equivalence
+// suites use, reimplemented as one managed registry slot (SetDebugX(nil)
+// releases it). With no subscribers the pointer is nil and the disabled
+// path stays zero-cost (the steady-state alloc gates cover it).
+// Registration is single-threaded: never attach or detach concurrently
+// with a running kernel, and note the edges are process-global — two
+// simulations in one process share them.
 
-// SetDebugStall installs the stall trace hook (tests only).
-func SetDebugStall(fn func(name string, now sim.Cycle, n uint64, backfill bool)) { debugStall = fn }
+// StallFn observes a stall accrual: name's router stalled for n cycles
+// ending at now. Stalls are batched across dormant stretches, so one call
+// may cover many cycles (backfill reports whether the accrual was settled
+// after the fact rather than observed on a live scan); batching boundaries
+// depend on when settles run and are not part of the equivalence contract
+// — only the per-router totals are.
+type StallFn = func(name string, now sim.Cycle, n uint64, backfill bool)
 
-// debugGrant, when set, observes every switch-allocation grant (tests
-// only): which input port won which output for which transaction.
-var debugGrant func(name string, now sim.Cycle, port, out int, id uint64)
+// debugStall, when non-nil, observes every stall accrual.
+var debugStall StallFn
 
-// SetDebugGrant installs the grant trace hook (equivalence tests only;
-// not for concurrent use).
-func SetDebugGrant(fn func(name string, now sim.Cycle, port, out int, id uint64)) { debugGrant = fn }
+var stallHooks sim.HookList[StallFn]
 
-// debugCredit, when set, observes every credit-side pop of a router input
-// port: which port freed a slot and whether the FIFO was full (i.e. the
-// pop actually returned a credit upstream). Controller-side queue releases
-// are reported through TraceCredit by the SoC wiring.
-var debugCredit func(name string, now sim.Cycle, port int, wasFull bool)
+// HookStall subscribes fn to the stall edge and returns its detach func.
+func HookStall(fn StallFn) (detach func()) {
+	return stallHooks.Attach(fn, &debugStall, func(fns []StallFn) StallFn {
+		return func(name string, now sim.Cycle, n uint64, backfill bool) {
+			for _, f := range fns {
+				f(name, now, n, backfill)
+			}
+		}
+	})
+}
 
-// SetDebugCredit installs the credit trace hook (equivalence tests only;
-// not for concurrent use).
-func SetDebugCredit(fn func(name string, now sim.Cycle, port int, wasFull bool)) { debugCredit = fn }
+var legacyStall func()
 
-// TraceCredit reports a credit return to the installed credit trace hook.
+// SetDebugStall installs fn as the legacy stall observer (nil uninstalls),
+// managing a single registry slot so tests and analyzers coexist.
+func SetDebugStall(fn StallFn) {
+	if fn == nil {
+		setLegacy(&legacyStall, nil)
+		return
+	}
+	setLegacy(&legacyStall, func() func() { return HookStall(fn) })
+}
+
+// GrantFn observes one switch-allocation grant: which input port won
+// which output for which transaction.
+type GrantFn = func(name string, now sim.Cycle, port, out int, id uint64)
+
+// debugGrant, when non-nil, observes every switch-allocation grant.
+var debugGrant GrantFn
+
+var grantHooks sim.HookList[GrantFn]
+
+// HookGrant subscribes fn to the grant edge and returns its detach func.
+func HookGrant(fn GrantFn) (detach func()) {
+	return grantHooks.Attach(fn, &debugGrant, func(fns []GrantFn) GrantFn {
+		return func(name string, now sim.Cycle, port, out int, id uint64) {
+			for _, f := range fns {
+				f(name, now, port, out, id)
+			}
+		}
+	})
+}
+
+var legacyGrant func()
+
+// SetDebugGrant installs fn as the legacy grant observer (nil uninstalls).
+func SetDebugGrant(fn GrantFn) {
+	if fn == nil {
+		setLegacy(&legacyGrant, nil)
+		return
+	}
+	setLegacy(&legacyGrant, func() func() { return HookGrant(fn) })
+}
+
+// CreditFn observes a credit-side pop of a router input port: which port
+// freed a slot and whether the FIFO was full (i.e. the pop actually
+// returned a credit upstream). Controller-side queue releases are
+// reported on the same edge through TraceCredit by the SoC wiring, under
+// their own names.
+type CreditFn = func(name string, now sim.Cycle, port int, wasFull bool)
+
+// debugCredit, when non-nil, observes every credit-side pop.
+var debugCredit CreditFn
+
+var creditHooks sim.HookList[CreditFn]
+
+// HookCredit subscribes fn to the credit edge and returns its detach func.
+func HookCredit(fn CreditFn) (detach func()) {
+	return creditHooks.Attach(fn, &debugCredit, func(fns []CreditFn) CreditFn {
+		return func(name string, now sim.Cycle, port int, wasFull bool) {
+			for _, f := range fns {
+				f(name, now, port, wasFull)
+			}
+		}
+	})
+}
+
+var legacyCredit func()
+
+// SetDebugCredit installs fn as the legacy credit observer (nil
+// uninstalls).
+func SetDebugCredit(fn CreditFn) {
+	if fn == nil {
+		setLegacy(&legacyCredit, nil)
+		return
+	}
+	setLegacy(&legacyCredit, func() func() { return HookCredit(fn) })
+}
+
+// setLegacy points one managed registry slot at a fresh subscription: the
+// previous legacy subscription (if any) is detached, then attach (when
+// non-nil) installs the replacement — exactly the old single-pointer
+// SetDebugX semantics, expressed on the registry.
+func setLegacy(slot *func(), attach func() func()) {
+	if *slot != nil {
+		(*slot)()
+		*slot = nil
+	}
+	if attach != nil {
+		*slot = attach()
+	}
+}
+
+// TraceCredit reports a credit return to the credit edge's subscribers.
 // It exists for credit sources outside this package (the memory-controller
 // queue releases wired up by the SoC assembly).
 func TraceCredit(name string, now sim.Cycle, port int, wasFull bool) {
@@ -345,19 +452,43 @@ func TraceCredit(name string, now sim.Cycle, port int, wasFull bool) {
 	}
 }
 
-// debugSleep, when set, observes every sleep window: when a scan runs at
-// cycle b after the previous scan at a-1, the router asserts no grant
-// occurred in [a, b) (tests only).
-var debugSleep func(name string, from, until sim.Cycle)
+// SleepFn observes a sleep window: when a scan runs at cycle b after the
+// previous scan at a-1, the router asserts no grant occurred in [a, b).
+type SleepFn = func(name string, from, until sim.Cycle)
 
-// SetDebugSleep installs the sleep-window trace hook (tests only).
-func SetDebugSleep(fn func(name string, from, until sim.Cycle)) { debugSleep = fn }
+// debugSleep, when non-nil, observes every sleep window.
+var debugSleep SleepFn
+
+var sleepHooks sim.HookList[SleepFn]
+
+// HookSleep subscribes fn to the sleep-window edge and returns its detach
+// func.
+func HookSleep(fn SleepFn) (detach func()) {
+	return sleepHooks.Attach(fn, &debugSleep, func(fns []SleepFn) SleepFn {
+		return func(name string, from, until sim.Cycle) {
+			for _, f := range fns {
+				f(name, from, until)
+			}
+		}
+	})
+}
+
+var legacySleep func()
+
+// SetDebugSleep installs fn as the legacy sleep-window observer (nil
+// uninstalls).
+func SetDebugSleep(fn SleepFn) {
+	if fn == nil {
+		setLegacy(&legacySleep, nil)
+		return
+	}
+	setLegacy(&legacySleep, func() func() { return HookSleep(fn) })
+}
 
 // FlushSleep reports the router's trailing sleep window — the scan-free
-// stretch between its last scan and now — to the sleep-window hook.
-// Windows are otherwise only emitted when a later scan runs, so a test
-// ending its run mid-sleep calls this to close the final window (tests
-// only).
+// stretch between its last scan and now — to the sleep-window edge.
+// Windows are otherwise only emitted when a later scan runs, so an
+// observer ending its run mid-sleep calls this to close the final window.
 func (r *Router) FlushSleep(now sim.Cycle) {
 	if debugSleep != nil && now > r.lastScan+1 {
 		debugSleep(r.name, r.lastScan+1, now)
@@ -421,6 +552,9 @@ func (r *Router) Name() string { return r.name }
 
 // Port returns input port i, for wiring upstream producers.
 func (r *Router) Port(i int) *Port { return r.ports[i] }
+
+// NPorts reports the number of input ports.
+func (r *Router) NPorts() int { return len(r.ports) }
 
 // Forwarded reports the number of packets granted so far.
 func (r *Router) Forwarded() uint64 { return r.forwarded }

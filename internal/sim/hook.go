@@ -1,0 +1,53 @@
+package sim
+
+// HookList is the subscriber registry behind one multiplexed trace hook.
+// Subsystems (noc, dma, memctrl) expose their trace edges as a single
+// package-level function pointer that the hot path nil-checks; HookList
+// keeps that fast path intact while letting several observers — the
+// equivalence tests' legacy SetDebugX installers and the analysis layer —
+// coexist on the same edge. Attach rebuilds the fast-path pointer to nil
+// (no subscribers: the disabled path stays zero-cost), the sole
+// subscriber (no indirection beyond the original single-hook design), or
+// a fan-out closure over a snapshot of the list.
+//
+// Registration is not synchronized: attach and detach from the goroutine
+// that owns the simulation, never concurrently with a running kernel.
+type HookList[F any] struct {
+	subs []*F
+}
+
+// Attach subscribes fn to the edge whose fast-path pointer is *target and
+// returns its detach function. fanout must build a single F that calls
+// each element of its argument in order; it is only consulted when two or
+// more subscribers are live. Detach is idempotent and detach order is
+// independent of attach order.
+func (l *HookList[F]) Attach(fn F, target *F, fanout func([]F) F) (detach func()) {
+	slot := &fn
+	l.subs = append(l.subs, slot)
+	l.rebuild(target, fanout)
+	return func() {
+		for i, s := range l.subs {
+			if s == slot {
+				l.subs = append(l.subs[:i], l.subs[i+1:]...)
+				break
+			}
+		}
+		l.rebuild(target, fanout)
+	}
+}
+
+func (l *HookList[F]) rebuild(target *F, fanout func([]F) F) {
+	switch len(l.subs) {
+	case 0:
+		var zero F
+		*target = zero
+	case 1:
+		*target = *l.subs[0]
+	default:
+		fns := make([]F, len(l.subs))
+		for i, s := range l.subs {
+			fns[i] = *s
+		}
+		*target = fanout(fns)
+	}
+}

@@ -589,6 +589,14 @@ func (k *Kernel) Run(horizon Cycle) {
 	k.settleRun()
 }
 
+// Settle flushes every registered Settler's batched dormant-cycle
+// bookkeeping through the current clock, exactly as the end of a Run
+// segment would. SettleRun implementations are idempotent, so Settle is
+// safe mid-run — the analysis sampler calls it from a recurring event so
+// windowed stall and occupancy statistics are exact at sample boundaries
+// even for components the active list left dormant.
+func (k *Kernel) Settle() { k.settleRun() }
+
 // settleRun flushes batched dormant-cycle bookkeeping at the end of a Run
 // segment. It runs in every mode: in the stepped and force-poll modes the
 // final executed cycle ticked everyone, so each SettleRun is an idempotent

@@ -72,8 +72,26 @@ func NewCounter(window sim.Cycle, nbuckets int) *Counter {
 	}
 }
 
-// advance rotates buckets until now falls in the head bucket.
+// advance rotates buckets until now falls in the head bucket. A gap of a
+// full window or more means every bucket has expired, so it clamps to one
+// O(nbuckets) reset instead of rotating bucket by bucket — the first
+// sample after a fast-forwarded dormant stretch must not do O(gap/bucketW)
+// work. The clamp lands head and headEnd exactly where the rotation loop
+// would, so short-gap behavior is bit-identical.
 func (c *Counter) advance(now sim.Cycle) {
+	if now < c.headEnd {
+		return
+	}
+	if gap := now - c.headEnd; gap >= c.window {
+		steps := gap/c.bucketW + 1
+		c.head = (c.head + int(steps%sim.Cycle(len(c.buckets)))) % len(c.buckets)
+		c.headEnd += steps * c.bucketW
+		for i := range c.buckets {
+			c.buckets[i] = 0
+		}
+		c.total = 0
+		return
+	}
 	for now >= c.headEnd {
 		c.head = (c.head + 1) % len(c.buckets)
 		c.total -= c.buckets[c.head]
@@ -276,6 +294,12 @@ func WriteCSV(w io.Writer, series ...*Series) error {
 	for _, s := range series[1:] {
 		if s.Len() != n {
 			return fmt.Errorf("stats: series %q has %d samples, want %d", s.Name, s.Len(), n)
+		}
+		for i, cyc := range s.Cycles {
+			if cyc != series[0].Cycles[i] {
+				return fmt.Errorf("stats: series %q sample %d is at cycle %d, but series %q has cycle %d there",
+					s.Name, i, cyc, series[0].Name, series[0].Cycles[i])
+			}
 		}
 	}
 	if _, err := fmt.Fprint(w, "cycle"); err != nil {

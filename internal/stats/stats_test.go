@@ -178,3 +178,100 @@ func TestSummarize(t *testing.T) {
 		t.Fatalf("constant-sample summary %+v, want zero spread", s)
 	}
 }
+
+// advanceLoop is the pre-clamp reference for Counter.advance: rotate one
+// bucketW at a time, however long the gap. The clamped fast path must
+// land head, headEnd, buckets and total exactly where this loop does.
+func advanceLoop(c *Counter, now sim.Cycle) {
+	for now >= c.headEnd {
+		c.head = (c.head + 1) % len(c.buckets)
+		c.total -= c.buckets[c.head]
+		c.buckets[c.head] = 0
+		c.headEnd += c.bucketW
+	}
+}
+
+func counterStateEqual(a, b *Counter) bool {
+	if a.head != b.head || a.headEnd != b.headEnd || a.total != b.total {
+		return false
+	}
+	for i := range a.buckets {
+		if a.buckets[i] != b.buckets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCounterAdvanceClampMatchesRotation(t *testing.T) {
+	// Drive two identical counters through adds separated by gaps both
+	// shorter and (much) longer than the window; the clamped advance must
+	// stay bit-identical to the one-bucket-at-a-time reference, including
+	// across a multi-million-cycle dormant stretch.
+	c := NewCounter(1000, 10)
+	r := NewCounter(1000, 10)
+	now := sim.Cycle(0)
+	gaps := []sim.Cycle{1, 37, 99, 100, 101, 450, 999, 1000, 1001, 2500,
+		10_000, 7, 3_000_000, 12, 950, 25_000_000, 1, 999, 1050}
+	for i, g := range gaps {
+		amount := float64(i%5) + 0.25
+		c.Add(now, amount)
+		advanceLoop(r, now)
+		r.buckets[r.head] += amount
+		r.total += amount
+		if !counterStateEqual(c, r) {
+			t.Fatalf("state diverged after add %d at cycle %d:\nclamp %+v\nloop  %+v", i, now, c, r)
+		}
+		now += g
+		c.advance(now)
+		advanceLoop(r, now)
+		if !counterStateEqual(c, r) {
+			t.Fatalf("state diverged after gap %d ending at cycle %d:\nclamp %+v\nloop  %+v", g, now, c, r)
+		}
+		if ct, rt := c.Total(now), r.total; ct != rt {
+			t.Fatalf("Total %v, reference %v at cycle %d", ct, rt, now)
+		}
+	}
+}
+
+func TestCounterDormantGapResets(t *testing.T) {
+	c := NewCounter(1000, 10)
+	c.Add(100, 42)
+	if total := c.Total(100); total != 42 {
+		t.Fatalf("total %v, want 42", total)
+	}
+	// A gap of several million cycles empties the window in one step.
+	if total := c.Total(5_000_100); total != 0 {
+		t.Fatalf("total after dormant gap %v, want 0", total)
+	}
+	if rate := c.Rate(5_000_100); rate != 0 {
+		t.Fatalf("rate after dormant gap %v, want 0", rate)
+	}
+	// The counter keeps working normally afterwards.
+	c.Add(5_000_200, 7)
+	if total := c.Total(5_000_200); total != 7 {
+		t.Fatalf("total after resume %v, want 7", total)
+	}
+}
+
+func TestWriteCSVCycleMismatch(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	a.Append(0, 1)
+	a.Append(10, 2)
+	b.Append(0, 3)
+	b.Append(20, 4) // same length, sampled at a different cycle
+	var sb strings.Builder
+	err := WriteCSV(&sb, a, b)
+	if err == nil {
+		t.Fatal("cycle-mismatched series accepted")
+	}
+	for _, frag := range []string{`"b"`, "sample 1", "cycle 20", "cycle 10"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not name %s", err, frag)
+		}
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("partial CSV %q written despite error", sb.String())
+	}
+}

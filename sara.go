@@ -15,6 +15,7 @@
 package sara
 
 import (
+	"sara/internal/analysis"
 	"sara/internal/config"
 	"sara/internal/core"
 	"sara/internal/exp"
@@ -215,4 +216,38 @@ var (
 	FailedRuns = exp.Failed
 	// OpenJournal opens (creating if absent) a checkpoint journal.
 	OpenJournal = exp.OpenJournal
+)
+
+// Observability re-exports: the analysis layer and the live sweep
+// monitor (see README "Observability").
+
+// Analyzer aggregates windowed occupancy/backpressure/stall-attribution
+// statistics for one System; attach with AttachAnalyzer before running.
+type Analyzer = analysis.Analyzer
+
+// AnalysisOptions configures an Analyzer: aggregation window, whether the
+// process-global trace edges are tapped, and an optional live publisher.
+type AnalysisOptions = analysis.Options
+
+// AnalysisReport is the serialized outcome of one analyzed run.
+type AnalysisReport = analysis.Report
+
+// AnalysisSnapshot is one live windowed view of an in-flight run.
+type AnalysisSnapshot = analysis.Snapshot
+
+// Monitor is the HTTP live monitor serving sweep progress and snapshots.
+type Monitor = analysis.Monitor
+
+// MonitorRun is one run's publish handle on a Monitor.
+type MonitorRun = analysis.RunHandle
+
+var (
+	// AttachAnalyzer arms an Analyzer over a built System.
+	AttachAnalyzer = analysis.Attach
+	// NewMonitor returns an idle Monitor; Start serves it.
+	NewMonitor = analysis.NewMonitor
+	// WriteAnalysisJSON writes labeled reports as one JSON object.
+	WriteAnalysisJSON = analysis.WriteReportsJSON
+	// WriteAnalysisCSV writes labeled reports as `# label`-separated CSV.
+	WriteAnalysisCSV = analysis.WriteReportsCSV
 )
