@@ -281,7 +281,7 @@ func (o cliOptions) runFrames(sys *core.System, k int) error {
 // per-core minimum NPI over the measured window.
 func worstNPI(sys *core.System, from sara.Cycle) float64 {
 	worst := 1e9
-	for _, v := range sys.MinNPIByCore(from) {
+	for _, v := range sys.MinNPIByCore(from) { //sara:maprange-ok min-reduction is order-insensitive
 		if v < worst {
 			worst = v
 		}
@@ -425,7 +425,7 @@ func sweepScale(o cliOptions, w io.Writer) error {
 		}
 		from := sys.Now()
 		before := sys.DRAM().Stats()
-		start := time.Now()
+		start := time.Now() //sara:wallclock host-throughput measurement (ns per simulated cycle)
 		if err := o.runFrames(sys, 1); err != nil {
 			return err
 		}

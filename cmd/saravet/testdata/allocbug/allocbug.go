@@ -1,0 +1,10 @@
+// Package allocbug seeds an allocation on an annotated hot path.
+package allocbug
+
+// Step builds a fresh slice every call. BUG: hot-path functions must
+// not allocate.
+//
+//sara:hotpath
+func Step() []int {
+	return make([]int, 8)
+}

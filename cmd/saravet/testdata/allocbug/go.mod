@@ -1,0 +1,3 @@
+module example.com/allocbug
+
+go 1.24

@@ -1,0 +1,30 @@
+// Package clean is a saravet regression fixture that must produce no
+// findings: an annotated hot path that mutates in place, and a wake
+// bound anchored in absolute time.
+package clean
+
+// Cycle mirrors sim.Cycle for the fixture.
+type Cycle uint64
+
+// Counter is trivially alloc-free hot-path state.
+type Counter struct {
+	n    uint64
+	next Cycle
+}
+
+// Step advances the counter without allocating.
+//
+//sara:hotpath
+func (c *Counter) Step() {
+	c.n++
+}
+
+// NextActivity returns the absolute next-wake cycle recorded at arm
+// time, clamped to now — the sound pattern.
+func (c *Counter) NextActivity(now Cycle) (Cycle, bool) {
+	at := c.next
+	if at < now {
+		at = now
+	}
+	return at, true
+}

@@ -1,0 +1,3 @@
+module example.com/clean
+
+go 1.24

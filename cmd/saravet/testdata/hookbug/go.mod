@@ -1,0 +1,3 @@
+module example.com/hookbug
+
+go 1.24

@@ -1,0 +1,13 @@
+// Package hookbug seeds a direct trace-hook write. Hook pointers must
+// only ever be wired through the hook registry (Attach), never assigned
+// directly, or detach-all teardown leaks the handler.
+package hookbug
+
+// debugTrace is the package trace hook.
+var debugTrace func(string)
+
+// Install wires f straight into the hook variable. BUG: bypasses the
+// registry.
+func Install(f func(string)) {
+	debugTrace = f
+}

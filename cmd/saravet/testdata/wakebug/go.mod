@@ -1,0 +1,3 @@
+module example.com/wakebug
+
+go 1.24

@@ -1,0 +1,20 @@
+// Package wakebug seeds the stale now-relative wake-bound bug class:
+// NextActivity re-derives its bound from mutable receiver state
+// relative to now, so a later state change silently invalidates the
+// bound the kernel already latched.
+package wakebug
+
+// Cycle mirrors sim.Cycle for the fixture.
+type Cycle uint64
+
+// Source emits one item every rate cycles.
+type Source struct {
+	rate Cycle
+}
+
+// NextActivity reports when the source next wants to run. BUG: the
+// bound is now + s.rate, recomputed from mutable receiver state on
+// every call instead of being anchored at the cursor in absolute time.
+func (s *Source) NextActivity(now Cycle) (Cycle, bool) {
+	return now + s.rate, true
+}

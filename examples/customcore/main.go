@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"sara"
 	"sara/internal/txn"
@@ -47,9 +48,14 @@ func main() {
 	min := sys.MinNPIByCore(from)
 	fmt.Printf("  NPU min NPI: %.3f\n", min["NPU"])
 
+	cores := make([]string, 0, len(min))
+	for core := range min {
+		cores = append(cores, core)
+	}
+	sort.Strings(cores)
 	below := 0
-	for core, v := range min {
-		if v < 1 {
+	for _, core := range cores {
+		if v := min[core]; v < 1 {
 			fmt.Printf("  %-14s min NPI %.3f BELOW TARGET\n", core, v)
 			below++
 		}

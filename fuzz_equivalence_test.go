@@ -2,6 +2,8 @@ package sara_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -12,6 +14,19 @@ import (
 	"sara/internal/noc"
 	"sara/internal/sim"
 )
+
+// fuzzScale returns the SARA_FUZZ_SCALE multiplier (default 1) applied to
+// every randomized-config pool size. CI's race job sets it to 2 so the
+// short-mode differentials still cover a meaningful pool under the
+// detector's slowdown.
+func fuzzScale() int {
+	if s := os.Getenv("SARA_FUZZ_SCALE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
 
 // The randomized differential harness: each case derives a whole system
 // configuration from a single uint64 seed — test case, policy, refresh,
@@ -279,6 +294,7 @@ func TestRandomizedSkipVsStepDifferential(t *testing.T) {
 	if testing.Short() {
 		configs = 10
 	}
+	configs *= fuzzScale()
 	var totalGrants, totalSkipped, refreshRuns, scaledRuns, dormancyRuns uint64
 	for i := 0; i < configs; i++ {
 		seed := sim.NewRand(baseSeed).Fork(uint64(i)).Uint64()

@@ -22,6 +22,7 @@
 package analysis
 
 import (
+	"sort"
 	"strconv"
 
 	"sara/internal/core"
@@ -206,19 +207,22 @@ func Attach(sys *core.System, opt Options) *Analyzer {
 // EdgeTap (one cell per router plus one per controller queue name); the
 // dma and memctrl edges index probes directly.
 func (a *Analyzer) subscribe() {
-	names := make([]string, 0, len(a.routers)+len(a.channels))
+	mcNames := make([]string, 0, len(a.mcByName))
+	for n := range a.mcByName {
+		mcNames = append(mcNames, n)
+	}
+	sort.Strings(mcNames)
+	names := make([]string, 0, len(a.routers)+len(mcNames))
 	for _, p := range a.routers {
 		names = append(names, p.name)
 	}
-	for n := range a.mcByName {
-		names = append(names, n)
-	}
+	names = append(names, mcNames...)
 	tap := TapRouters(names...)
 	for _, p := range a.routers {
 		p.ec = tap.Counts(p.name)
 	}
-	for n, c := range a.mcByName {
-		c.mcEC = tap.Counts(n)
+	for _, n := range mcNames {
+		a.mcByName[n].mcEC = tap.Counts(n)
 	}
 	a.detach = append(a.detach, tap.Close,
 		dma.HookInject(func(now sim.Cycle, source int, id uint64, addr uint64) {

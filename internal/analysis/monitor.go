@@ -181,8 +181,8 @@ func (m *Monitor) snapshotStatus() status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := status{Planned: m.planned}
-	for _, r := range m.runs {
-		switch r.State {
+	for _, l := range m.order {
+		switch m.runs[l].State {
 		case "running":
 			st.Running++
 		case "done":

@@ -317,6 +317,8 @@ func (e *Engine) rearm(at sim.Cycle, cause byte) {
 // because the router ticks after the engine). Credits that cannot lead to
 // an injection — nothing pending, or the window exhausted — are dropped:
 // the enqueue or delivery that clears the other blocker re-arms then.
+//
+//sara:hotpath
 func (e *Engine) Wake(at sim.Cycle) {
 	if len(e.pending) == 0 || e.outstanding >= e.cfg.Window {
 		return
@@ -351,6 +353,8 @@ func (e *Engine) Enqueue(kind txn.Kind, addr txn.Addr, size uint32) bool {
 }
 
 // PendingSpace reports how many more requests Enqueue will accept.
+//
+//sara:hotpath
 func (e *Engine) PendingSpace() int { return e.cfg.MaxPending - len(e.pending) }
 
 // Pending reports the generated-but-not-injected request count.
@@ -363,6 +367,8 @@ func (e *Engine) Outstanding() int { return e.outstanding }
 // injection wake. The cache is a sound lower bound by construction: the
 // injection loop parks it at never only when blocked on events that each
 // re-arm it (see wakeAt), so a dormant engine never needs to be polled.
+//
+//sara:hotpath
 func (e *Engine) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if e.wakeAt == never {
 		return 0, false
@@ -378,6 +384,8 @@ func (e *Engine) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 // it only settles stall accounting in O(1): the blockers provably cannot
 // have changed, because every event that clears one re-arms the wake onto
 // its own cycle.
+//
+//sara:hotpath
 func (e *Engine) Tick(now sim.Cycle) {
 	if (len(e.pending) == 0 || e.stalled) && now < e.wakeAt && !forceScan {
 		// Idle, or dormant while blocked. The live pending check is the
@@ -424,9 +432,10 @@ func (e *Engine) Tick(now sim.Cycle) {
 		*e.nextID++
 		var t *txn.Transaction
 		if e.cfg.Pool != nil {
+			//sara:alloc-ok inlined copy of Pool.Get's pool warm-up allocation; steady state recycles
 			t = e.cfg.Pool.Get()
 		} else {
-			t = new(txn.Transaction)
+			t = new(txn.Transaction) //sara:alloc-ok pool-less fallback path; pooled configs never take it
 		}
 		*t = txn.Transaction{
 			ID:       *e.nextID,
@@ -468,6 +477,8 @@ func (e *Engine) Tick(now sim.Cycle) {
 // fires before this cycle's ticks, so the engine can inject this cycle),
 // and the source wake is re-armed alongside: completions change the
 // in-flight accounting some sources' activity hints depend on.
+//
+//sara:hotpath
 func (e *Engine) Deliver(t *txn.Transaction, now sim.Cycle) {
 	if t.Source != e.id {
 		panic(fmt.Sprintf("dma %s: delivery of foreign txn %d", e.cfg.Name, t.ID))

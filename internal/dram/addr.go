@@ -69,6 +69,8 @@ func NewAddressMapper(g Geometry, t Timing) *AddressMapper {
 }
 
 // Decode translates addr into a Location.
+//
+//sara:hotpath
 func (m *AddressMapper) Decode(addr txn.Addr) Location {
 	a := uint64(addr)
 	return Location{

@@ -137,6 +137,8 @@ func (d *DRAM) rank(loc Location) *rank {
 }
 
 // State reports the row-buffer state and open row of the bank at loc.
+//
+//sara:hotpath
 func (d *DRAM) State(loc Location) (BankState, uint64) {
 	b := d.bank(loc)
 	return b.state, b.row
@@ -155,6 +157,8 @@ func (d *DRAM) ReservedBy(loc Location) uint64 { return d.bank(loc).reservedBy }
 // Reserve marks the bank at loc as owned by transaction id. It panics if
 // the bank is already reserved by a different transaction, which would
 // indicate a scheduler bug.
+//
+//sara:hotpath
 func (d *DRAM) Reserve(loc Location, id uint64) {
 	b := d.bank(loc)
 	if b.reservedBy != 0 && b.reservedBy != id {
@@ -164,6 +168,8 @@ func (d *DRAM) Reserve(loc Location, id uint64) {
 }
 
 // Release frees the reservation on the bank at loc if held by id.
+//
+//sara:hotpath
 func (d *DRAM) Release(loc Location, id uint64) {
 	b := d.bank(loc)
 	if b.reservedBy == id {
@@ -203,6 +209,8 @@ func (d *DRAM) canActivate(b *bank, rk *rank, now sim.Cycle) bool {
 
 // Activate opens row loc.Row in the bank at loc. The caller must have
 // checked CanActivate.
+//
+//sara:hotpath
 func (d *DRAM) Activate(loc Location, now sim.Cycle) {
 	if !d.CanActivate(loc, now) {
 		panic(fmt.Sprintf("dram: illegal ACT at %d to %+v", now, loc))
@@ -233,6 +241,8 @@ func (d *DRAM) CanPrecharge(loc Location, now sim.Cycle) bool {
 }
 
 // Precharge closes the open row in the bank at loc.
+//
+//sara:hotpath
 func (d *DRAM) Precharge(loc Location, now sim.Cycle) {
 	if !d.CanPrecharge(loc, now) {
 		panic(fmt.Sprintf("dram: illegal PRE at %d to %+v", now, loc))
@@ -264,6 +274,8 @@ func (d *DRAM) CanRead(loc Location, now sim.Cycle) bool {
 
 // Read issues a READ CAS and returns the cycle at which the last data beat
 // arrives (i.e. when the transaction's data is fully available).
+//
+//sara:hotpath
 func (d *DRAM) Read(loc Location, now sim.Cycle) sim.Cycle {
 	if !d.CanRead(loc, now) {
 		panic(fmt.Sprintf("dram: illegal READ at %d to %+v", now, loc))
@@ -309,6 +321,8 @@ func (d *DRAM) CanWrite(loc Location, now sim.Cycle) bool {
 // Write issues a WRITE CAS and returns the cycle at which the write data
 // has been fully transferred (the controller acknowledges the transaction
 // then).
+//
+//sara:hotpath
 func (d *DRAM) Write(loc Location, now sim.Cycle) sim.Cycle {
 	if !d.CanWrite(loc, now) {
 		panic(fmt.Sprintf("dram: illegal WRITE at %d to %+v", now, loc))
@@ -362,6 +376,8 @@ func (d *DRAM) syncRefresh(rk *rank, now sim.Cycle) {
 // RefreshOwed reports how many refreshes rank r of channel ch owes at
 // cycle now (negative when refreshes have been pulled in ahead of
 // schedule), or zero on a refresh-free device.
+//
+//sara:hotpath
 func (d *DRAM) RefreshOwed(ch, r int, now sim.Cycle) int {
 	if !d.cfg.Refresh.Enabled {
 		return 0 // syncRefresh would spin on a zero tREFI
@@ -374,6 +390,8 @@ func (d *DRAM) RefreshOwed(ch, r int, now sim.Cycle) int {
 // RefreshForced reports whether rank r's postponement window is exhausted
 // at now: the controller must drain the rank and issue REF before serving
 // it further.
+//
+//sara:hotpath
 func (d *DRAM) RefreshForced(ch, r int, now sim.Cycle) bool {
 	if !d.cfg.Refresh.Enabled {
 		return false
@@ -383,6 +401,8 @@ func (d *DRAM) RefreshForced(ch, r int, now sim.Cycle) bool {
 
 // NextRefreshBoundary reports the first tREFI slot strictly after now, or
 // zero on a refresh-free device.
+//
+//sara:hotpath
 func (d *DRAM) NextRefreshBoundary(ch, r int, now sim.Cycle) sim.Cycle {
 	if !d.cfg.Refresh.Enabled {
 		return 0 // syncRefresh would spin on a zero tREFI
@@ -397,6 +417,8 @@ func (d *DRAM) NextRefreshBoundary(ch, r int, now sim.Cycle) sim.Cycle {
 // precharge must come first); otherwise at is the earliest cycle every
 // bank's activate gate — which folds tRP after PRE and tRFC after REF —
 // has opened.
+//
+//sara:hotpath
 func (d *DRAM) RefreshReadyAt(ch, r int) (at sim.Cycle, allClosed bool) {
 	base := (ch*d.nRanks + r) * d.nBanks
 	for b := 0; b < d.nBanks; b++ {
@@ -414,6 +436,8 @@ func (d *DRAM) RefreshReadyAt(ch, r int) (at sim.Cycle, allClosed bool) {
 // CanRefresh reports whether a REF to rank r of channel ch may issue at
 // now: refresh enabled, every bank closed and past its activate gate, and
 // pull-in capacity left in the window.
+//
+//sara:hotpath
 func (d *DRAM) CanRefresh(ch, r int, now sim.Cycle) bool {
 	if !d.cfg.Refresh.Enabled {
 		return false
@@ -430,6 +454,8 @@ func (d *DRAM) CanRefresh(ch, r int, now sim.Cycle) bool {
 // Refresh issues an all-bank REF to rank r of channel ch. The caller must
 // have checked CanRefresh. Every bank's activate gate moves past the tRFC
 // blackout; no command can reach a closed bank before that gate opens.
+//
+//sara:hotpath
 func (d *DRAM) Refresh(ch, r int, now sim.Cycle) {
 	if !d.CanRefresh(ch, r, now) {
 		panic(fmt.Sprintf("dram: illegal REF at %d to channel %d rank %d", now, ch, r))
@@ -516,6 +542,8 @@ func (d *DRAM) InitScan(s *ScanState) {
 // have changed — loc's bank, its rank's ACT gate and the channel CAS
 // gates — leaving the rest of the snapshot untouched. Controllers call it
 // after each issue instead of refilling the whole snapshot every scan.
+//
+//sara:hotpath
 func (d *DRAM) RefreshScanBank(ch int, loc Location, s *ScanState) {
 	t := d.cfg.Timing
 	c := &d.channels[ch]
@@ -545,6 +573,8 @@ func (d *DRAM) RefreshScanBank(ch int, loc Location, s *ScanState) {
 // RefreshScanRank re-reads the activate gates a just-issued REF moved —
 // every bank of the rank — leaving CAS, precharge and channel gates
 // untouched (REF changes nothing else).
+//
+//sara:hotpath
 func (d *DRAM) RefreshScanRank(ch, r int, s *ScanState) {
 	base := (ch*d.nRanks + r) * d.nBanks
 	out := s.Banks[r*d.nBanks:]

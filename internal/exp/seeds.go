@@ -40,7 +40,7 @@ func WorstNPISummary(runs []PolicyRun) stats.Summary {
 			continue
 		}
 		worst := math.Inf(1)
-		for _, v := range r.MinNPI {
+		for _, v := range r.MinNPI { //sara:maprange-ok min-reduction is order-insensitive
 			if v < worst {
 				worst = v
 			}
@@ -68,7 +68,7 @@ func BandwidthSummary(runs []PolicyRun) stats.Summary {
 func PerCoreNPISummaries(runs []PolicyRun) ([]string, map[string]stats.Summary) {
 	vals := map[string][]float64{}
 	for _, r := range runs {
-		for core, v := range r.MinNPI {
+		for core, v := range r.MinNPI { //sara:maprange-ok each core's slice gets one sample per run, so per-slice order is run order
 			vals[core] = append(vals[core], v)
 		}
 	}

@@ -200,7 +200,7 @@ func (o Options) Watchdog() *sim.Watchdog {
 		CheckEvery: 64,
 	}
 	if o.Timeout > 0 {
-		wd.Deadline = time.Now().Add(o.Timeout)
+		wd.Deadline = time.Now().Add(o.Timeout) //sara:wallclock watchdog deadline is a host bound, not simulated time
 	}
 	return wd
 }

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces bit-identical replayability inside the module:
+// simulation results and serialized reports may depend only on the
+// configuration and seed, never on the host. Three hazards are flagged:
+//
+//   - time.Now: wall-clock reads. The sim.Watchdog host deadlines are the
+//     sanctioned exceptions, allowlisted line by line with
+//     //sara:wallclock <reason>.
+//   - the global math/rand stream: process-wide, seed-shared state; every
+//     stochastic draw must come from a sim.Rand forked from the run seed.
+//   - range over a map: Go randomizes iteration order per run, so any map
+//     range whose effects are order-sensitive de-syncs replays and
+//     shuffles serialized output. Two idioms are recognized as
+//     order-insensitive and stay legal: collecting keys/values into a
+//     slice that the same function subsequently sorts, and resetting or
+//     deleting every entry. Everything else needs sorted-key iteration or
+//     a //sara:maprange-ok justification.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "flag wall-clock reads, global math/rand and order-sensitive map iteration in module code",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(p *Pass) error {
+	if !p.InModule(p.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range p.SourceFiles() {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				p.checkDeterministicCall(n)
+			case *ast.RangeStmt:
+				p.checkMapRange(n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (p *Pass) checkDeterministicCall(call *ast.CallExpr) {
+	fn, ok := p.ObjectOf(call.Fun).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "time" && fn.Name() == "Now":
+		p.Reportf(call.Pos(), VerbWallclock,
+			"time.Now reads the wall clock: simulation state and reports must derive from sim.Cycle (or justify a host deadline with //sara:wallclock)")
+	case path == "math/rand" || path == "math/rand/v2":
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() != nil || strings.HasPrefix(fn.Name(), "New") {
+			return
+		}
+		p.Reportf(call.Pos(), "",
+			"math/rand.%s draws from the process-global stream: fork a sim.Rand from the run seed instead", fn.Name())
+	}
+}
+
+func (p *Pass) checkMapRange(rng *ast.RangeStmt, stack []ast.Node) {
+	t := p.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if p.benignCollect(rng, stack) || benignReset(rng) {
+		return
+	}
+	p.Reportf(rng.For, VerbMaprangeOK,
+		"range over map has nondeterministic iteration order: iterate sorted keys (or justify an order-insensitive loop with //sara:maprange-ok)")
+}
+
+// benignCollect recognizes the key-collection idiom: a single-statement
+// body `s = append(s, k)` (or v) whose slice is passed to a sort.* or
+// slices.* call later in the same function — the canonical
+// collect-then-sort pattern the fix guidance recommends.
+func (p *Pass) benignCollect(rng *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if b, ok := p.ObjectOf(call.Fun).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	obj := p.Info.Uses[dst]
+	if obj == nil {
+		obj = p.Info.Defs[dst]
+	}
+	if obj == nil {
+		return false
+	}
+
+	// The slice must be sorted after the loop, inside the enclosing
+	// function.
+	var encl ast.Node
+	for i := len(stack) - 1; i >= 0 && encl == nil; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			encl = stack[i]
+		}
+	}
+	if encl == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if pp := fn.Pkg().Path(); pp != "sort" && pp != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// benignReset recognizes bodies whose every statement only zeroes or
+// deletes entries — order-insensitive by construction.
+func benignReset(rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return true // `for range m {}` observes nothing
+	}
+	for _, st := range rng.Body.List {
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "delete" {
+				return false
+			}
+		case *ast.AssignStmt:
+			if st.Tok != token.ASSIGN || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return false
+			}
+			switch ast.Unparen(st.Lhs[0]).(type) {
+			case *ast.IndexExpr, *ast.StarExpr:
+			default:
+				return false
+			}
+			if !zeroish(st.Rhs[0]) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// zeroish matches reset right-hand sides: literals, nil/true/false, and
+// empty composite literals (T{}).
+func zeroish(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "nil" || e.Name == "true" || e.Name == "false"
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// EscapeIndex cross-checks the compiler's own escape analysis
+// (go build -gcflags=-m) against //sara:hotpath extents: hotpathalloc is
+// a conservative syntactic screen, the compiler is the precise second
+// opinion, and `saravet -escape` is where the two meet. Any
+// "escapes to heap" / "moved to heap" diagnostic landing inside an
+// annotated function's line range — minus lines carrying a
+// //sara:alloc-ok justification — is a finding.
+type EscapeIndex struct {
+	ranges  []FuncRange
+	allocOK map[string]map[int]bool
+	// cold marks lines inside panic(...) arguments: they only execute on
+	// a dying simulation, so their escapes are exempt — the same rule the
+	// syntactic hotpathalloc analyzer applies.
+	cold map[string]map[int]bool
+}
+
+// FuncRange is the source extent of one //sara:hotpath function.
+type FuncRange struct {
+	File       string
+	Start, End int
+	Key        string
+}
+
+// NewEscapeIndex returns an empty index.
+func NewEscapeIndex() *EscapeIndex {
+	return &EscapeIndex{
+		allocOK: map[string]map[int]bool{},
+		cold:    map[string]map[int]bool{},
+	}
+}
+
+// AddFiles records the //sara:hotpath extents and //sara:alloc-ok lines
+// of a package's non-test files.
+func (ix *EscapeIndex) AddFiles(fset *token.FileSet, files []*ast.File) {
+	for _, f := range files {
+		if isTestFile(fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, VerbHotpath) {
+				continue
+			}
+			start := fset.Position(fd.Pos())
+			start.Filename = absPath(start.Filename)
+			key := fd.Name.Name
+			if fd.Recv != nil {
+				key = recvTypeName(fd) + "." + key
+			}
+			ix.ranges = append(ix.ranges, FuncRange{
+				File:  start.Filename,
+				Start: start.Line,
+				End:   fset.Position(fd.End()).Line,
+				Key:   key,
+			})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPanicCall(call) {
+				return true
+			}
+			p := fset.Position(call.Pos())
+			file := absPath(p.Filename)
+			m := ix.cold[file]
+			if m == nil {
+				m = map[int]bool{}
+				ix.cold[file] = m
+			}
+			for line := p.Line; line <= fset.Position(call.End()).Line; line++ {
+				m[line] = true
+			}
+			return true
+		})
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				d, ok := parseDirective(c)
+				if !ok || d.verb != VerbAllocOK {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				p.Filename = absPath(p.Filename)
+				m := ix.allocOK[p.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					ix.allocOK[p.Filename] = m
+				}
+				// A directive covers its own line and, standing alone,
+				// the line below — same reach as Pass suppression.
+				m[p.Line] = true
+				m[p.Line+1] = true
+			}
+		}
+	}
+}
+
+// escapeLine matches one compiler diagnostic: file:line:col: message.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// Check scans `go build -m` output (compiler diagnostics arrive on
+// stderr, file paths relative to the build's working directory, which dir
+// names) and returns the escapes inside hot-path functions.
+func (ix *EscapeIndex) Check(output []byte, dir string) []Diagnostic {
+	var out []Diagnostic
+	sc := bufio.NewScanner(bytes.NewReader(output))
+	for sc.Scan() {
+		m := escapeLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		file = absPath(file)
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		fr, ok := ix.lookup(file, line)
+		if !ok || ix.allocOK[file][line] || ix.cold[file][line] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Analyzer: "escape",
+			Message:  fmt.Sprintf("%s in hot-path function %s (compiler escape analysis)", msg, fr.Key),
+		})
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// absPath normalizes a file path so loader positions (absolute) and
+// compiler diagnostics (relative to the build directory) compare equal.
+func absPath(p string) string {
+	if abs, err := filepath.Abs(p); err == nil {
+		return abs
+	}
+	return p
+}
+
+func (ix *EscapeIndex) lookup(file string, line int) (FuncRange, bool) {
+	for _, fr := range ix.ranges {
+		if fr.File == file && fr.Start <= line && line <= fr.End {
+			return fr, true
+		}
+	}
+	return FuncRange{}, false
+}

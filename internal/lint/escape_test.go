@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const escapeSrc = `package p
+
+//sara:hotpath
+func Hot() *int {
+	if bad() {
+		panic("boom")
+	}
+	x := 40
+	y := 2 //sara:alloc-ok justified escape
+	_ = y
+	return &x
+}
+
+func bad() bool { return false }
+
+func Cold() *int {
+	z := 1
+	return &z
+}
+`
+
+func TestEscapeIndex(t *testing.T) {
+	fset := token.NewFileSet()
+	name := filepath.Join("fix", "esc.go")
+	f, err := parser.ParseFile(fset, name, escapeSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewEscapeIndex()
+	ix.AddFiles(fset, []*ast.File{f})
+
+	// Compiler output uses paths relative to the build dir; the index
+	// must match them against the (absolute) parsed positions anyway.
+	out := []byte(strings.Join([]string{
+		"./esc.go:11:2: moved to heap: x",        // inside Hot, no suppression -> finding
+		"./esc.go:9:2: moved to heap: y",         // alloc-ok line -> suppressed
+		"./esc.go:6:9: \"boom\" escapes to heap", // panic argument -> cold, suppressed
+		"./esc.go:17:2: moved to heap: z",        // outside any hot-path function
+		"./esc.go:11:2: can inline Hot",          // not an escape message
+	}, "\n"))
+	ds := ix.Check(out, "fix")
+	if len(ds) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(ds), ds)
+	}
+	d := ds[0]
+	if d.Analyzer != "escape" || d.Pos.Line != 11 {
+		t.Fatalf("unexpected finding %+v", d)
+	}
+	if !strings.Contains(d.Message, "moved to heap: x in hot-path function Hot") {
+		t.Fatalf("unexpected message %q", d.Message)
+	}
+}

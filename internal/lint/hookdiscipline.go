@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HookDiscipline guards the zero-cost trace-edge contract. Each
+// observability edge in noc, dma and memctrl is one package-level
+// function pointer (debugStall, debugGrant, debugInject, debugTrace, ...)
+// that the hot path nil-checks; the sim.HookList registry is the only
+// legal writer, rebuilding the pointer to nil / the sole subscriber / a
+// fan-out closure as observers attach and detach. A direct assignment
+// anywhere — including the declaring package's own convenience code —
+// clobbers every registered observer and breaks the nil-when-unsubscribed
+// guarantee the steady-state alloc gates measure, so it is flagged; the
+// pointer's address may only be taken as an Attach argument.
+func HookDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "hookdiscipline",
+		Doc:  "flag writes to trace-hook fast-path pointers outside the sim.HookList registry",
+		Run:  runHookDiscipline,
+	}
+}
+
+// hookVar reports whether obj is a trace-hook fast-path pointer: a
+// package-level var of function type following the repo's debugX naming
+// convention.
+func hookVar(p *Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() != p.Pkg.Scope() {
+		return false
+	}
+	if !strings.HasPrefix(v.Name(), "debug") {
+		return false
+	}
+	_, ok = v.Type().Underlying().(*types.Signature)
+	return ok
+}
+
+func runHookDiscipline(p *Pass) error {
+	for _, f := range p.SourceFiles() {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if obj := p.Info.Uses[id]; obj != nil && hookVar(p, obj) {
+						p.Reportf(id.Pos(), VerbHookOK,
+							"direct write to trace-hook pointer %s: subscribe through the sim.HookList registry (Hook%s/SetDebug%s) so the nil-when-unsubscribed guarantee survives",
+							obj.Name(), hookEdgeName(obj.Name()), hookEdgeName(obj.Name()))
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op != token.AND {
+					return true
+				}
+				id, ok := ast.Unparen(n.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || !hookVar(p, obj) {
+					return true
+				}
+				if !isAttachArg(n, stack) {
+					p.Reportf(n.OpPos, VerbHookOK,
+						"address of trace-hook pointer %s escapes the registry: only HookList.Attach may rewire it", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAttachArg reports whether the &hook expression is an argument of a
+// HookList.Attach call — the one sanctioned way to hand the fast-path
+// slot to the registry.
+func isAttachArg(n ast.Node, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Attach" {
+		return false
+	}
+	for _, a := range call.Args {
+		if a == n {
+			return true
+		}
+	}
+	return false
+}
+
+// hookEdgeName derives the edge's public name from the pointer name:
+// debugStall -> Stall.
+func hookEdgeName(name string) string {
+	return strings.TrimPrefix(name, "debug")
+}

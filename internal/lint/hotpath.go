@@ -1,0 +1,415 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc enforces the repo's 0 allocs/op contract statically. A
+// function annotated //sara:hotpath — and every function it transitively
+// calls within its package — must be free of syntactic allocation sites:
+// make, new, append growth, capturing closures, interface boxing, fmt
+// calls, string concatenation, map/slice literals, go and defer
+// statements. Calls that cross into another module package must target a
+// function that is itself //sara:hotpath (verified by that package's own
+// pass and exported as a fact), so the contract composes module-wide from
+// local reasoning — the way //go:nosplit does.
+//
+// The check is deliberately conservative: an append into a pre-sized
+// scratch slice or a &T{} that the compiler keeps on the stack are
+// flagged and carry a //sara:alloc-ok justification; `saravet -escape`
+// runs the compiler's own escape analysis as the precise second opinion,
+// and the -benchmem CI gate measures the steady state. Calls through
+// interfaces (Ticker.Tick, Idler.NextActivity) are not traced — the
+// concrete implementations carry their own //sara:hotpath marks, which is
+// exactly what the annotation pass dogfoods.
+//
+// Expressions inside a panic(...) argument are exempt: a panicking run is
+// already dead, and the kernel's invariant panics format their reports.
+func HotPathAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "flag allocation sites reachable from //sara:hotpath functions",
+		Run:  runHotPath,
+	}
+}
+
+func runHotPath(p *Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var funcs []*types.Func // declaration order, for deterministic output
+	var roots []*types.Func
+	for _, f := range p.SourceFiles() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fd
+			funcs = append(funcs, obj)
+			if hasDirective(fd.Doc, VerbHotpath) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+
+	// Transitive same-package closure over statically resolvable calls.
+	inClosure := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if inClosure[fn] {
+			return
+		}
+		inClosure[fn] = true
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// A panic argument only runs on a dying simulation; functions
+			// reachable solely from there are cold, not hot.
+			if isPanicCall(call) {
+				return false
+			}
+			if callee, ok := p.ObjectOf(call.Fun).(*types.Func); ok {
+				if _, local := decls[callee]; local {
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+
+	for _, fn := range funcs {
+		if inClosure[fn] {
+			p.checkAllocFree(decls[fn], fn)
+		}
+	}
+	return nil
+}
+
+// checkAllocFree walks one closure member's body and reports every
+// syntactic allocation site.
+func (p *Pass) checkAllocFree(fd *ast.FuncDecl, fn *types.Func) {
+	where := FuncKey(fn)
+	report := func(pos token.Pos, format string, args ...any) {
+		args = append(args, where)
+		p.Reportf(pos, VerbAllocOK, format+" in hot-path function %s", args...)
+	}
+
+	// sigs tracks the innermost function literal's signature so return
+	// statements check against the right result types.
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if insidePanic(stack) {
+			return true
+		}
+		// The panic call itself is exempt too (boxing into panic's any
+		// parameter); its children are covered by the stack check above.
+		if call, ok := n.(*ast.CallExpr); ok && isPanicCall(call) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			p.checkCall(n, report)
+		case *ast.CompositeLit:
+			p.checkCompositeLit(n, stack, report)
+		case *ast.FuncLit:
+			p.checkFuncLit(n, report)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(p.TypeOf(n)) {
+				report(n.OpPos, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(p.TypeOf(n.Lhs[0])) {
+				report(n.TokPos, "string concatenation allocates")
+			}
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				p.checkAssignBoxing(n, report)
+			}
+		case *ast.ValueSpec:
+			p.checkValueSpecBoxing(n, report)
+		case *ast.ReturnStmt:
+			p.checkReturnBoxing(n, fd, stack, report)
+		case *ast.GoStmt:
+			report(n.Go, "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			report(n.Defer, "defer may allocate and delays the hot path")
+		case *ast.SelectorExpr:
+			p.checkMethodValue(n, stack, report)
+		}
+		return true
+	})
+}
+
+// insidePanic reports whether the walk is inside a panic(...) argument.
+func insidePanic(stack []ast.Node) bool {
+	for _, a := range stack {
+		if call, ok := a.(*ast.CallExpr); ok && isPanicCall(call) {
+			return true
+		}
+	}
+	return false
+}
+
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (p *Pass) checkCall(call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	// Conversions T(x) — the type may be a named Ident or a type
+	// expression like []byte, which no object resolves.
+	if tv, ok := p.Info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			p.checkConversion(tv.Type, call.Args[0], call.Pos(), report)
+		}
+		return
+	}
+	switch obj := p.ObjectOf(call.Fun).(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "make":
+			report(call.Pos(), "make allocates")
+		case "new":
+			report(call.Pos(), "new allocates (or escapes)")
+		case "append":
+			report(call.Pos(), "append may grow its backing array")
+		}
+	case *types.Func:
+		pkg := obj.Pkg()
+		if pkg != nil && pkg != p.Pkg {
+			path := pkg.Path()
+			switch {
+			case path == "fmt":
+				report(call.Pos(), "call to fmt.%s allocates", obj.Name())
+			case p.Module != "" && p.InModule(path) && !isInterfaceMethod(obj):
+				if !p.Facts[path].Has(FuncKey(obj)) {
+					report(call.Pos(), "call to %s.%s, which is not //sara:hotpath", path, FuncKey(obj))
+				}
+			}
+		}
+	}
+	p.checkCallArgBoxing(call, report)
+}
+
+// checkCallArgBoxing flags concrete non-pointer-shaped values passed into
+// interface-typed parameters — each such argument is boxed on the heap.
+func (p *Pass) checkCallArgBoxing(call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			if call.Ellipsis != token.NoPos {
+				// s... passes the slice through; no per-element boxing.
+				continue
+			}
+			pt = params.At(n - 1).Type().(*types.Slice).Elem()
+		case i < n:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if p.boxes(pt, arg) {
+			report(arg.Pos(), "argument boxed into interface %s", pt)
+		}
+	}
+}
+
+func (p *Pass) checkAssignBoxing(n *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if p.boxes(p.TypeOf(n.Lhs[i]), rhs) {
+			report(rhs.Pos(), "value boxed into interface on assignment")
+		}
+	}
+}
+
+func (p *Pass) checkValueSpecBoxing(n *ast.ValueSpec, report func(token.Pos, string, ...any)) {
+	if n.Type == nil {
+		return
+	}
+	t := p.TypeOf(n.Type)
+	for _, v := range n.Values {
+		if p.boxes(t, v) {
+			report(v.Pos(), "value boxed into interface on declaration")
+		}
+	}
+}
+
+func (p *Pass) checkReturnBoxing(n *ast.ReturnStmt, fd *ast.FuncDecl, stack []ast.Node, report func(token.Pos, string, ...any)) {
+	sig := p.enclosingSignature(fd, stack)
+	if sig == nil || sig.Results().Len() != len(n.Results) {
+		return
+	}
+	for i, r := range n.Results {
+		if p.boxes(sig.Results().At(i).Type(), r) {
+			report(r.Pos(), "return value boxed into interface")
+		}
+	}
+}
+
+// enclosingSignature resolves the signature governing a return statement:
+// the innermost enclosing func literal, or the declaration itself.
+func (p *Pass) enclosingSignature(fd *ast.FuncDecl, stack []ast.Node) *types.Signature {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fl, ok := stack[i].(*ast.FuncLit); ok {
+			sig, _ := p.TypeOf(fl).(*types.Signature)
+			return sig
+		}
+	}
+	if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+		return obj.Type().(*types.Signature)
+	}
+	return nil
+}
+
+func (p *Pass) checkConversion(target types.Type, arg ast.Expr, pos token.Pos, report func(token.Pos, string, ...any)) {
+	at := p.TypeOf(arg)
+	if at == nil {
+		return
+	}
+	if isString(target) {
+		if s, ok := at.Underlying().(*types.Slice); ok && isByteOrRune(s.Elem()) {
+			report(pos, "[]byte/[]rune-to-string conversion allocates")
+		}
+		return
+	}
+	if s, ok := target.Underlying().(*types.Slice); ok && isByteOrRune(s.Elem()) && isString(at) {
+		report(pos, "string-to-slice conversion allocates")
+		return
+	}
+	if p.boxes(target, arg) {
+		report(pos, "conversion boxes value into interface %s", target)
+	}
+}
+
+func (p *Pass) checkCompositeLit(n *ast.CompositeLit, stack []ast.Node, report func(token.Pos, string, ...any)) {
+	t := p.TypeOf(n)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		report(n.Pos(), "map literal allocates")
+	case *types.Slice:
+		report(n.Pos(), "slice literal allocates")
+	default:
+		if len(stack) > 0 {
+			if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+				report(u.OpPos, "address of composite literal may escape to the heap")
+			}
+		}
+	}
+}
+
+func (p *Pass) checkFuncLit(n *ast.FuncLit, report func(token.Pos, string, ...any)) {
+	captures := false
+	ast.Inspect(n.Body, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level state is addressed statically, not captured.
+		if v.Parent() == p.Pkg.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		// Declared outside the literal's own body/params => captured.
+		if v.Pos() < n.Pos() || v.Pos() > n.End() {
+			captures = true
+		}
+		return true
+	})
+	if captures {
+		report(n.Pos(), "func literal captures variables and allocates a closure")
+	}
+}
+
+// checkMethodValue flags x.M used as a value (not called): binding the
+// receiver allocates a closure.
+func (p *Pass) checkMethodValue(se *ast.SelectorExpr, stack []ast.Node, report func(token.Pos, string, ...any)) {
+	sel := p.Info.Selections[se]
+	if sel == nil || sel.Kind() != types.MethodVal {
+		return
+	}
+	if len(stack) > 0 {
+		if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == se {
+			return
+		}
+	}
+	report(se.Sel.Pos(), "method value binds its receiver and allocates")
+}
+
+// boxes reports whether assigning arg into an lhs of type target boxes a
+// concrete value on the heap: target is an interface, arg's type is
+// concrete, and the value is not pointer-shaped (pointers, channels, maps
+// and funcs are stored in the interface word directly).
+func (p *Pass) boxes(target types.Type, arg ast.Expr) bool {
+	if target == nil {
+		return false
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	at := tv.Type
+	if at == nil {
+		return false
+	}
+	switch at.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if at.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = sig.Recv().Type().Underlying().(*types.Interface)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRune(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Uint8 ||
+		b.Kind() == types.Rune || b.Kind() == types.Int32
+}

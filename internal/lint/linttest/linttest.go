@@ -1,0 +1,244 @@
+// Package linttest runs analyzers over small fixture packages and checks
+// their findings against expectations embedded in the fixtures
+// themselves, in the style of golang.org/x/tools' analysistest (which the
+// toolchain image does not carry): a comment `// want "regexp"` on a line
+// declares that exactly one diagnostic matching the regexp must be
+// reported on that line, multiple quoted regexps declare multiple
+// diagnostics, and any unmatched finding or leftover expectation fails
+// the test.
+//
+// A fixture is a directory holding one package; immediate subdirectories
+// are dependency packages, typechecked first and importable from the root
+// package as Module + "/" + name. Hot-path facts are scanned from every
+// fixture package, so cross-package //sara:hotpath contracts can be
+// exercised without a driver.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sara/internal/lint"
+)
+
+// Config adjusts how a fixture is loaded.
+type Config struct {
+	// Module is the fixture's module path; the root package takes this
+	// path and subdirectory packages Module + "/" + name. Empty means the
+	// directory base name, with lint.Pass.Module left empty (all import
+	// paths count as module-internal).
+	Module string
+	// Facts are merged over the facts scanned from the fixture packages,
+	// for simulating dependencies that exist only as export knowledge.
+	Facts map[string]*lint.Facts
+}
+
+// Run applies the analyzers to the fixture at dir with a default Config.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	RunWith(t, Config{}, dir, analyzers...)
+}
+
+// RunWith applies the analyzers to the fixture at dir and reports every
+// mismatch between findings and `// want` expectations via t.Errorf.
+func RunWith(t *testing.T, cfg Config, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	facts := map[string]*lint.Facts{}
+	for path, f := range cfg.Facts { //sara:maprange-ok map-to-map copy with distinct keys is order-insensitive
+		facts[path] = f
+	}
+
+	rootPath := cfg.Module
+	if rootPath == "" {
+		rootPath = filepath.Base(dir)
+	}
+
+	deps := map[string]*types.Package{}
+	imp := &fixtureImporter{deps: deps}
+	var diags []lint.Diagnostic
+	var files []*ast.File
+
+	check := func(path, dir string) *types.Package {
+		t.Helper()
+		pkgFiles := parseDir(t, fset, dir)
+		files = append(files, pkgFiles...)
+		scanned := lint.ScanFacts(fset, pkgFiles)
+		if _, ok := facts[path]; !ok {
+			facts[path] = &scanned
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, pkgFiles, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", path, err)
+		}
+		pass := &lint.Pass{
+			Fset:   fset,
+			Files:  pkgFiles,
+			Pkg:    tpkg,
+			Info:   info,
+			Module: cfg.Module,
+			Facts:  facts,
+		}
+		ds, err := lint.RunPackage(pass, analyzers)
+		if err != nil {
+			t.Fatalf("run %s: %v", path, err)
+		}
+		diags = append(diags, ds...)
+		return tpkg
+	}
+
+	for _, sub := range subdirs(t, dir) {
+		path := rootPath + "/" + sub
+		deps[path] = check(path, filepath.Join(dir, sub))
+	}
+	check(rootPath, dir)
+
+	compare(t, fset, files, diags)
+}
+
+// fixtureImporter resolves sibling fixture packages from the typechecked
+// set and everything else (stdlib) through the toolchain's default
+// importer.
+type fixtureImporter struct {
+	deps map[string]*types.Package
+}
+
+func (f *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := f.deps[path]; ok {
+		return pkg, nil
+	}
+	return importer.Default().Import(path)
+}
+
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture: no Go files in %s", dir)
+	}
+	return files
+}
+
+func subdirs(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expectation is one `// want` regexp anchored to a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE accepts `// want "re"` and an optional line offset — `// want-1
+// "re"` anchors the expectation one line above the comment, which is how
+// fixtures attach expectations to diagnostics reported on a standalone
+// directive comment's own line.
+var wantRE = regexp.MustCompile(`//\s*want([+-]\d+)?((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func parseExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off, err := strconv.Atoi(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want offset %q", pos, m[1])
+					}
+					line += off
+				}
+				for _, q := range quotedRE.FindAllString(m[2], -1) {
+					text, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, text, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := parseExpectations(t, fset, files)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Analyzer + ": " + d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package load turns Go package patterns into typechecked lint.Pass
+// inputs without golang.org/x/tools. It shells out to the go command the
+// same way go vet's driver does — `go list -export -e -json -deps`
+// resolves patterns, file lists and, crucially, gc export data for every
+// dependency — then parses and typechecks only the module's own packages
+// against that export data. Dependencies are never typechecked from
+// source: a lookup-based gc importer reads the compiler's export files,
+// which the build cache makes essentially free.
+//
+// Module packages that are pulled in as dependencies of a narrowed
+// pattern (for example `saravet ./internal/noc` pulling in internal/sim)
+// are parsed but not typechecked: hot-path facts are syntactic
+// (lint.ScanFacts), so the cross-package contract stays enforceable
+// without paying for a full load of the module.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sara/internal/lint"
+)
+
+// Package is one module package ready for analysis. Dependency-only
+// packages (parsed for facts, not typechecked) have Analyze == false and
+// nil Types/Info.
+type Package struct {
+	Path    string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Analyze bool
+}
+
+// Result is a loaded module slice: the shared FileSet, the module path,
+// the packages in `go list -deps` order (dependencies first), and the
+// syntactic facts of every module package encountered.
+type Result struct {
+	Fset     *token.FileSet
+	Module   string
+	Packages []*Package
+	Facts    map[string]*lint.Facts
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+	DepsErrors []struct {
+		Err string
+	}
+}
+
+// Patterns loads the packages matching patterns (default ./...) relative
+// to dir. Build or typecheck failures abort the load: saravet refuses to
+// report a partial picture of a tree that does not compile.
+func Patterns(dir string, patterns ...string) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Fset:  token.NewFileSet(),
+		Facts: map[string]*lint.Facts{},
+	}
+	exports := map[string]string{}
+	redirect := map[string]string{}
+	var loadErrs []string
+	for _, lp := range listed {
+		if lp.Module != nil && lp.Module.Main {
+			res.Module = lp.Module.Path
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		for src, resolved := range lp.ImportMap { //sara:maprange-ok one build resolves a source path to one target, so merge order is immaterial
+			redirect[src] = resolved
+		}
+		if lp.Error != nil {
+			loadErrs = append(loadErrs, strings.TrimSpace(lp.Error.Err))
+		}
+	}
+	if len(loadErrs) > 0 {
+		sort.Strings(loadErrs)
+		return nil, fmt.Errorf("load: %s", strings.Join(loadErrs, "\n"))
+	}
+
+	imp := &exportImporter{
+		gc: importer.ForCompiler(res.Fset, "gc", func(path string) (io.ReadCloser, error) {
+			if r, ok := redirect[path]; ok {
+				path = r
+			}
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+	}
+
+	for _, lp := range listed {
+		if res.Module == "" || !inModule(res.Module, lp.ImportPath) {
+			continue
+		}
+		pkg := &Package{
+			Path:    lp.ImportPath,
+			Dir:     lp.Dir,
+			Analyze: !lp.DepOnly,
+		}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(res.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("load %s: %w", lp.ImportPath, err)
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		facts := lint.ScanFacts(res.Fset, pkg.Files)
+		res.Facts[lp.ImportPath] = &facts
+
+		if pkg.Analyze {
+			if err := typecheck(res.Fset, pkg, imp); err != nil {
+				return nil, err
+			}
+		}
+		res.Packages = append(res.Packages, pkg)
+	}
+	return res, nil
+}
+
+func typecheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			errs = append(errs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(pkg.Path, fset, pkg.Files, info)
+	if len(errs) > 0 {
+		return fmt.Errorf("typecheck %s: %s", pkg.Path, strings.Join(errs, "\n"))
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// exportImporter wraps the lookup-based gc importer with the unsafe
+// special case the compiler handles internally.
+type exportImporter struct {
+	gc types.Importer
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}
+
+func inModule(module, path string) bool {
+	return path == module || strings.HasPrefix(path, module+"/")
+}
+
+// goList runs `go list -export -e -json -deps` and decodes the JSON
+// stream. CGO_ENABLED=0 keeps cgo variants (and therefore a C toolchain)
+// out of the dependency closure.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list: %s", msg)
+	}
+	var out []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+// Package det exercises determinism: wall-clock reads, the global
+// math/rand stream and order-sensitive map iteration.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var counts = map[string]int{}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func deadline() time.Time {
+	return time.Now().Add(time.Second) //sara:wallclock host watchdog deadline, not simulated time
+}
+
+func draw() int {
+	return rand.Intn(6) // want "math/rand.Intn draws from the process-global stream"
+}
+
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+// Benign: keys are collected, then sorted in the same function.
+func dump() []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Benign: deleting every entry is order-insensitive.
+func reset() {
+	for k := range counts {
+		delete(counts, k)
+	}
+}
+
+// Benign: zeroing every entry is order-insensitive.
+func zero() {
+	for k := range counts {
+		counts[k] = 0
+	}
+}
+
+func total() int {
+	sum := 0
+	for _, v := range counts { // want "range over map has nondeterministic iteration order"
+		sum += v
+	}
+	return sum
+}
+
+func skip() int {
+	n := 0
+	for k, v := range counts { //sara:maprange-ok summing is order-insensitive
+		n += len(k) + v
+	}
+	return n
+}

@@ -1,0 +1,25 @@
+// Package directive exercises the //sara: vocabulary checks: unknown
+// verbs, missing justifications, hotpath arguments and hotpath placement.
+package directive
+
+//sara:typo some justification
+// want-1 "unknown //sara: directive \"typo\""
+
+//sara:alloc-ok
+// want-1 "//sara:alloc-ok requires a justification"
+
+//sara:hotpath because-it-is-hot
+// want-1 "//sara:hotpath takes no argument"
+
+//sara:hotpath
+// want-1 "misplaced //sara:hotpath"
+
+//sara:hotpath
+func annotated() int {
+	return state //sara:alloc-ok well-formed trailing suppression
+}
+
+var state = 1 //sara:wallclock well-formed, wrong verb is not directive's concern
+
+//sara:bound-ok the absolute bound is recomputed by the caller every probe
+func other() int { return state }

@@ -1,0 +1,41 @@
+// Package hooks exercises hookdiscipline: debugX fast-path pointers may
+// only be rewired through the registry.
+package hooks
+
+type StallFn func(int)
+
+var debugStall StallFn
+
+var notHook StallFn
+
+type HookList struct{}
+
+func (h *HookList) Attach(fn StallFn, target *StallFn) {}
+
+var stallHooks HookList
+
+// Legal: handing the slot to the registry.
+func hookStall(fn StallFn) {
+	stallHooks.Attach(fn, &debugStall)
+}
+
+// Illegal: a direct write clobbers every registered observer.
+func sneaky(fn StallFn) {
+	debugStall = fn // want "direct write to trace-hook pointer debugStall"
+}
+
+// Illegal: the slot's address escaping can be written anywhere.
+func leak() *StallFn {
+	return &debugStall // want "address of trace-hook pointer debugStall escapes the registry"
+}
+
+// Non-hook function vars are unrestricted.
+func fine(fn StallFn) {
+	notHook = fn
+	_ = &notHook
+}
+
+// A justified direct write stays possible for fixture plumbing.
+func reset() {
+	debugStall = nil //sara:hook-ok fixture reset outside any simulated run
+}

@@ -1,0 +1,29 @@
+package hot
+
+import "fmt"
+
+type adder interface{ add(int) }
+
+type counter struct{ v int }
+
+func (c counter) add(x int) { _ = c.v + x }
+
+var sink adder
+
+//sara:hotpath
+func (c *counter) tick(a adder) {
+	a.add(c.v)                // interface method calls are not traced
+	sink = c                  // pointer into interface: stored directly, no boxing
+	sink = *c                 // want "value boxed into interface on assignment"
+	var box interface{} = c.v // want "value boxed into interface on declaration"
+	_ = box
+	c.log()
+}
+
+// log is in the hot closure via tick.
+func (c *counter) log() {
+	fmt.Println(c.v) // want "call to fmt.Println allocates" "argument boxed into interface"
+	if c.v < 0 {
+		panic(fmt.Sprintf("negative counter %d", c.v)) // exempt: panicking runs are dead
+	}
+}

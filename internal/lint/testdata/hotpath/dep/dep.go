@@ -1,0 +1,10 @@
+// Package dep provides cross-package callees for the hotpath fixture:
+// Fast is under the hot-path contract, Slow is not.
+package dep
+
+var state int
+
+//sara:hotpath
+func Fast() { state++ }
+
+func Slow() { state-- }

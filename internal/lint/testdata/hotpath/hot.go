@@ -1,0 +1,34 @@
+// Package hot exercises hotpathalloc: allocation sites in annotated
+// functions, transitive same-package callees and the cross-package fact
+// rule.
+package hot
+
+import "example.com/hot/dep"
+
+type Cycle uint64
+
+type ring struct {
+	buf  []int
+	n    int
+	name string
+}
+
+//sara:hotpath
+func (r *ring) Step(now Cycle) {
+	r.helper()
+	dep.Fast()
+	dep.Slow()                 // want "call to example.com/hot/dep.Slow, which is not //sara:hotpath"
+	r.buf = make([]int, 8)     // want "make allocates"
+	r.buf = append(r.buf, r.n) // want "append may grow its backing array"
+	_ = new(int)               // want "new allocates"
+}
+
+// helper is pulled into the hot closure by Step's call.
+func (r *ring) helper() {
+	r.name = r.name + "x" // want "string concatenation allocates"
+}
+
+// notHot is outside the closure: allocations are legal here.
+func notHot() []int {
+	return make([]int, 4)
+}

@@ -1,0 +1,29 @@
+package hot
+
+type point struct{ x, y int }
+
+//sara:hotpath
+func (r *ring) flush(dst []byte) {
+	m := map[int]int{} // want "map literal allocates"
+	s := []int{1}      // want "slice literal allocates"
+	p := &point{1, 2}  // want "address of composite literal may escape to the heap"
+	_, _, _ = m, s, p
+
+	f := func() int { return r.n } // want "func literal captures variables and allocates a closure"
+	g := func(x int) int { return x }
+	_, _ = f, g
+
+	b := []byte(r.name) // want "string-to-slice conversion allocates"
+	t := string(dst)    // want "to-string conversion allocates"
+	_, _ = b, t
+
+	go r.helper()    // want "go statement allocates a goroutine"
+	defer r.helper() // want "defer may allocate and delays the hot path"
+
+	h := r.helper // want "method value binds its receiver and allocates"
+	_ = h
+
+	scratch := make([]int, 0, 8) //sara:alloc-ok pre-sized scratch the compiler keeps on the stack
+	_ = scratch
+	_ = point{r.n, r.n} // plain composite literal without & stays on the stack
+}

@@ -1,0 +1,55 @@
+// Package wb exercises wakebound: NextActivity/Wake bounds must be
+// absolute, never now + (mutable receiver state).
+package wb
+
+type Cycle uint64
+
+type src struct {
+	funded Cycle
+	rate   Cycle
+}
+
+// The PR 7 bug shape: a now-relative bound computed from a cursor that
+// may be stale.
+func (s *src) NextActivity(now Cycle) Cycle {
+	return now + s.rate // want "now-relative wake bound derived from receiver state in src.NextActivity"
+}
+
+type cur struct {
+	cursor Cycle
+	step   Cycle
+}
+
+// Sound: the bound is anchored at the cursor in absolute time and only
+// clamped up to now.
+func (c *cur) NextActivity(now Cycle) Cycle {
+	at := c.cursor + c.step
+	if at < now {
+		at = now
+	}
+	return at
+}
+
+// Constant offsets from now are legal.
+func (c *cur) Wake(now Cycle) Cycle {
+	return now + 1
+}
+
+// Taint propagates through locals and compound assignment.
+func (s *src) Wake(now Cycle) Cycle {
+	lag := s.rate * 2
+	deadline := now
+	deadline += lag // want "now-relative wake bound derived from receiver state in src.Wake"
+	return deadline
+}
+
+type mix struct{ off Cycle }
+
+func (m *mix) NextActivity(now Cycle) Cycle {
+	return now + m.off //sara:bound-ok off is immutable after construction, so the bound cannot go stale
+}
+
+// Methods with other names are out of scope.
+func (s *src) estimate(now Cycle) Cycle {
+	return now + s.rate
+}

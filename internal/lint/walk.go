@@ -1,0 +1,23 @@
+package lint
+
+import "go/ast"
+
+// walkStack traverses root in ast.Inspect order while maintaining the
+// ancestor stack (stack[len-1] is n's parent). fn returning false prunes
+// the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Pruned: the corresponding nil pop never arrives, so do not
+			// push either.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -96,7 +96,7 @@ func entryHit(bs *dram.BankScan, e *entry) uint16 {
 func (c *Controller) bucketPush(e entry) {
 	key := c.bankKey(e.loc)
 	b := &c.buckets[key]
-	b.entries = append(b.entries, e)
+	b.entries = append(b.entries, e) //sara:alloc-ok bucket capacity amortizes to steady state (0 allocs/op bench gate)
 	b.dirty = true
 	if c.rowAware {
 		if p := entryHit(&c.scan.Banks[key], &e); p > c.bankHit[key] {

@@ -218,6 +218,8 @@ func (c *Controller) Occupancy(class txn.Class) int {
 }
 
 // Enqueue admits t at cycle now. The caller must have checked SpaceFor.
+//
+//sara:hotpath
 func (c *Controller) Enqueue(t *txn.Transaction, now sim.Cycle) {
 	loc := c.mapper.Decode(t.Addr)
 	if loc.Channel != c.cfg.Channel {
@@ -269,6 +271,8 @@ func (c *Controller) rrDist(class txn.Class) int {
 // machine — REF issue, forced-drain precharges and tREFI boundary
 // crossings — so a skipped stretch can never slide past a due refresh or
 // mis-time a tRFC blackout.
+//
+//sara:hotpath
 func (c *Controller) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	var queueAt sim.Cycle
 	queueOK := false
@@ -299,6 +303,8 @@ func (c *Controller) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 }
 
 // Tick issues at most one DRAM command for this channel.
+//
+//sara:hotpath
 func (c *Controller) Tick(now sim.Cycle) {
 	if c.refreshOn && (now >= c.refNextAction || forceScan) {
 		if c.tickRefresh(now) {
@@ -319,7 +325,7 @@ func (c *Controller) Tick(now sim.Cycle) {
 			if olderFirst(cand, best) {
 				best = cand
 			}
-		} else if c.cfg.Policy.better(cand, best, c.rrDist, c.cfg.Delta) {
+		} else if c.cfg.Policy.better(cand, best, c.rrDist, c.cfg.Delta) { //sara:alloc-ok method value does not escape; stack-allocated (0 allocs/op bench gate)
 			best = cand
 		}
 	}
@@ -543,7 +549,7 @@ func (c *Controller) collectBuckets(now sim.Cycle) {
 			e := &b.entries[i]
 			ok, rowHit, eAt, eOK := c.probeScan(e, c.allowPrecharge(e), now)
 			if ok {
-				c.scratch = append(c.scratch, candidate{e: *e, rowHit: rowHit})
+				c.scratch = append(c.scratch, candidate{e: *e, rowHit: rowHit}) //sara:alloc-ok scratch is reused across scans; capacity amortizes to queue depth
 			}
 			if eOK && eAt < at {
 				at = eAt
@@ -577,7 +583,7 @@ func (c *Controller) collectFull(now sim.Cycle, hasAged bool) {
 					continue
 				}
 				if ok, rowHit, _, _ := c.probeScan(e, true, now); ok {
-					c.scratch = append(c.scratch, candidate{e: *e, rowHit: rowHit})
+					c.scratch = append(c.scratch, candidate{e: *e, rowHit: rowHit}) //sara:alloc-ok scratch is reused across scans; capacity amortizes to queue depth
 				}
 			}
 		}
@@ -593,7 +599,7 @@ func (c *Controller) collectFull(now sim.Cycle, hasAged bool) {
 			e := &entries[i]
 			ok, rowHit, at, atOK := c.probeScan(e, c.allowPrecharge(e), now)
 			if ok {
-				c.scratch = append(c.scratch, candidate{e: *e, rowHit: rowHit})
+				c.scratch = append(c.scratch, candidate{e: *e, rowHit: rowHit}) //sara:alloc-ok scratch is reused across scans; capacity amortizes to queue depth
 				continue
 			}
 			if hasAged && !atOK && now >= e.t.Enqueue+c.cfg.AgingT {

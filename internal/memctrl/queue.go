@@ -33,7 +33,7 @@ func (q *classQueue) push(e entry) {
 	if q.full() {
 		panic(fmt.Sprintf("memctrl: queue %s overflow", q.class))
 	}
-	q.entries = append(q.entries, e)
+	q.entries = append(q.entries, e) //sara:alloc-ok queue backing array amortizes to its configured depth
 }
 
 // remove deletes the entry holding transaction id, preserving order.

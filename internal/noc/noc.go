@@ -141,16 +141,20 @@ func NewPort(depth int) *Port {
 }
 
 // CanAccept reports whether the FIFO has space.
+//
+//sara:hotpath
 func (p *Port) CanAccept() bool { return len(p.fifo) < p.depth }
 
 // Push appends t, becoming arbitrable at readyAt. When the port belongs to
 // a router, the push re-arms the router's wake: an injection landing while
 // the router sleeps must be able to pull the next scan forward.
+//
+//sara:hotpath
 func (p *Port) Push(t *txn.Transaction, arrived, readyAt sim.Cycle) {
 	if !p.CanAccept() {
 		panic("noc: push to full port")
 	}
-	p.fifo = append(p.fifo, packet{t: t, readyAt: readyAt, arrived: arrived, out: -1})
+	p.fifo = append(p.fifo, packet{t: t, readyAt: readyAt, arrived: arrived, out: -1}) //sara:alloc-ok fifo backing array amortizes to the port's credit depth
 	if o := p.owner; o != nil {
 		o.queued++
 		if readyAt < o.nextGrantAt {
@@ -253,6 +257,8 @@ func (p *Port) OnCreditArmed(w Waker) {
 
 // ArmCredit requests a wake from the next credit-returning pop. The
 // feeder calls it when it blocks on the full FIFO.
+//
+//sara:hotpath
 func (p *Port) ArmCredit() { p.creditArmed = true }
 
 // OnCredit implements CreditSink: pops of the full downstream port wake w.
@@ -573,6 +579,8 @@ func (r *Router) BindWake(h sim.WakeHandle) { r.wake = h }
 // returns wake at the cycle after the pop or queue release. The re-arm is
 // forwarded to the kernel's wake heap, which is what lets the kernel skip
 // to this router's next grant without polling it.
+//
+//sara:hotpath
 func (r *Router) Wake(at sim.Cycle) {
 	if r.queued == 0 {
 		// A credit return to an empty router is moot: there is nothing to
@@ -598,6 +606,8 @@ func (r *Router) Wake(at sim.Cycle) {
 // head blocked on a credited sink) acts only after an external wake, which
 // lands on an executed cycle and is observed by the kernel's re-query. The
 // O(ports) work lives in the scan that computed the window, not here.
+//
+//sara:hotpath
 func (r *Router) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if r.queued == 0 || r.nextGrantAt == never {
 		return 0, false
@@ -652,6 +662,8 @@ func (r *Router) accrueStallGap(now sim.Cycle) {
 // arbitrable heads are collected (and routed) once; after a grant, the
 // popped port's next head joins the pool for the remaining outputs,
 // matching the per-output re-read of a straightforward nested scan.
+//
+//sara:hotpath
 func (r *Router) Tick(now sim.Cycle) {
 	if r.queued == 0 {
 		return // stallFrom is never: the scan that popped the last packet reset it
@@ -687,7 +699,7 @@ func (r *Router) Tick(now sim.Cycle) {
 			continue // zero buffered flits: nothing to collect or route
 		}
 		if pk := p.fifo[0]; pk.readyAt <= now {
-			r.ready = append(r.ready, readyHead{idx: i, out: r.headOut(p), pk: pk})
+			r.ready = append(r.ready, readyHead{idx: i, out: r.headOut(p), pk: pk}) //sara:alloc-ok ready list is reused each tick; capacity amortizes to port count
 			if pk.arrived < oldest {
 				oldest = pk.arrived
 			}
@@ -714,7 +726,7 @@ func (r *Router) Tick(now sim.Cycle) {
 		if p := r.ports[h.idx]; len(p.fifo) > 0 && p.fifo[0].readyAt <= now {
 			r.ready[sel] = readyHead{idx: h.idx, out: r.headOut(p), pk: p.fifo[0]}
 		} else {
-			r.ready = append(r.ready[:sel], r.ready[sel+1:]...)
+			r.ready = append(r.ready[:sel], r.ready[sel+1:]...) //sara:alloc-ok in-place removal; never grows the backing array
 		}
 	}
 	if !granted && len(r.ready) > 0 {

@@ -228,6 +228,7 @@ func (k *Kernel) runGuarded(horizon Cycle) error {
 // wdCheck runs the periodic (per-CheckEvery) watchdog checks.
 func (k *Kernel) wdCheck() error {
 	wd := k.wd
+	//sara:wallclock the watchdog's deadline check is about the host clock by design
 	if !wd.Deadline.IsZero() && time.Now().After(wd.Deadline) {
 		return k.deadlock(fmt.Sprintf("wall-clock deadline exceeded (%s)", wd.Deadline.Format(time.RFC3339)))
 	}

@@ -133,7 +133,11 @@ type Settler interface {
 // anchor its bound at that cursor — e.g. cursor + steps - 1, clamped up
 // to now — never `now + steps` computed from stale state. The heap-top
 // probe RAISES entries from these answers; a bound even one cycle too
-// late starves the component permanently.
+// late starves the component permanently. This rule is enforced
+// statically: the wakebound analyzer in cmd/saravet flags NextActivity
+// and Wake implementations that add mutable receiver state to `now`,
+// unless the site carries a //sara:bound-ok justification (see the
+// "Static analysis" section of the README).
 type Idler interface {
 	// NextActivity reports the earliest cycle >= now at which the
 	// component may act on the system, or ok=false if it will never act
@@ -164,6 +168,8 @@ type WakeHandle struct {
 // increases are reconciled lazily when the entry reaches the heap top,
 // so a spurious early Rearm can cost an uneventful executed cycle but
 // can never lose a wake.
+//
+//sara:hotpath
 func (h WakeHandle) Rearm(at Cycle) {
 	if h.k == nil {
 		return
@@ -523,6 +529,8 @@ func (k *Kernel) Every(period Cycle, fn func(now Cycle)) {
 // tickers — cached wake at or before the current cycle — are called; the
 // stepped (SetIdleSkip(false)), opaque and force-poll modes tick every
 // ticker. Step never skips a cycle.
+//
+//sara:hotpath
 func (k *Kernel) Step() {
 	k.started = true
 	for len(k.events) > 0 && k.events[0].at <= k.now {
@@ -556,6 +564,8 @@ func (k *Kernel) Step() {
 // re-keyed from a live NextActivity query, the heap bounds are exact
 // after each active step, and the fast-forward probe computes the same
 // skip targets as the force-poll linear sweep.
+//
+//sara:hotpath
 func (k *Kernel) stepActive() {
 	now := k.now
 	at := k.wakes.at

@@ -139,6 +139,8 @@ func (s *DisplaySource) integrateTo(total sim.Cycle) {
 // NextActivity implements sim.Idler: the source acts when one more refill
 // fits in the buffer, which — absent completions, which arrive as kernel
 // events — happens only as the panel drains.
+//
+//sara:hotpath
 func (s *DisplaySource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if s.occFP+s.inflightFP+s.reqFP <= s.bufFP {
 		if s.engine.PendingSpace() > 0 {
@@ -300,6 +302,8 @@ func (s *CameraSource) integrateTo(total sim.Cycle) {
 
 // NextActivity implements sim.Idler: the source acts when a full drain
 // request has accumulated beyond what is already in flight.
+//
+//sara:hotpath
 func (s *CameraSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	need := s.inflightFP + s.reqFP
 	if s.occFP >= need {

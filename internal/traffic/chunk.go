@@ -92,6 +92,8 @@ func (s *ChunkSource) Name() string { return s.name }
 // current chunk still has bytes to issue, waits for its start offset
 // before the first chunk, and otherwise sleeps until the next chunk
 // boundary.
+//
+//sara:hotpath
 func (s *ChunkSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if s.nextChunk == 0 {
 		// First Tick initializes the schedule.

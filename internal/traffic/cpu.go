@@ -77,6 +77,8 @@ func (s *CPUSource) integrateTo(total sim.Cycle) {
 // the funding cursor rather than now, so a probe on lazily-integrated
 // state cannot raise the cached wake past the true fill cycle (see
 // RateSource.NextActivity).
+//
+//sara:hotpath
 func (s *CPUSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if s.tokensFP >= s.reqFP {
 		if s.engine.PendingSpace() > 0 {

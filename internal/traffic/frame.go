@@ -80,6 +80,8 @@ func (s *FrameSource) Name() string { return s.name }
 // has frame bytes to hand to the DMA, and otherwise sleeps until its next
 // frame boundary (or its initial start offset). Completions that land in
 // between arrive as kernel events and do not need the source awake.
+//
+//sara:hotpath
 func (s *FrameSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if !s.started {
 		if s.StartOffset > now {

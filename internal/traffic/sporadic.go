@@ -55,6 +55,8 @@ func (s *SporadicSource) Dropped() uint64 { return s.dropped }
 
 // NextActivity implements sim.Idler: the arrival process fires at a known
 // future cycle and Tick is a strict no-op before it.
+//
+//sara:hotpath
 func (s *SporadicSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if s.nextArrival > now {
 		return s.nextArrival, true
@@ -152,6 +154,8 @@ func (s *RateSource) integrateTo(total sim.Cycle) {
 // now, and a now-relative answer would push the cached wake past the true
 // fill cycle (an unsound raise the active-ticker list would never
 // recover from).
+//
+//sara:hotpath
 func (s *RateSource) NextActivity(now sim.Cycle) (sim.Cycle, bool) {
 	if s.tokensFP >= s.burstFP {
 		if s.engine.PendingSpace() > 0 {

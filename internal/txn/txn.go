@@ -143,6 +143,8 @@ type Pool struct {
 }
 
 // Get returns a recycled transaction, or a fresh one if the pool is empty.
+//
+//sara:hotpath
 func (p *Pool) Get() *Transaction {
 	if n := len(p.free); n > 0 {
 		t := p.free[n-1]
@@ -150,16 +152,20 @@ func (p *Pool) Get() *Transaction {
 		p.free = p.free[:n-1]
 		return t
 	}
-	return new(Transaction)
+	return new(Transaction) //sara:alloc-ok pool warm-up; steady state recycles (0 allocs/op bench gate)
 }
 
 // Put returns t to the pool for reuse.
+//
+//sara:hotpath
 func (p *Pool) Put(t *Transaction) {
-	p.free = append(p.free, t)
+	p.free = append(p.free, t) //sara:alloc-ok free-list growth is bounded by peak in-flight transactions
 }
 
 // Latency reports the end-to-end cycles from NoC injection to completion.
 // It is only meaningful after the transaction completed.
+//
+//sara:hotpath
 func (t *Transaction) Latency() sim.Cycle {
 	return t.Complete - t.Issue
 }

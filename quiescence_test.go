@@ -104,6 +104,7 @@ func TestNoMissedGrantWindows(t *testing.T) {
 	if testing.Short() {
 		cfgQuick.MaxCount = 4
 	}
+	cfgQuick.MaxCount *= fuzzScale()
 	if err := quick.Check(prop, cfgQuick); err != nil {
 		t.Fatal(err)
 	}
