@@ -76,6 +76,28 @@ func TestSteadyStateAllocationsScaled(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocationsParallel pins the domain-parallel kernel's
+// steady state: the per-worker epoch loop — barrier waits, mailbox-ring
+// exchange, cross-link credit returns, per-domain kernel runs — must run
+// entirely on preallocated state. AllocsPerRun counts mallocs
+// process-wide, so the parked worker goroutines are covered too: the
+// budget is for the whole 4x system (matching the scaled serial test),
+// not per worker.
+func TestSteadyStateAllocationsParallel(t *testing.T) {
+	sys := sara.BuildParallel(sara.ScaledSaturated(4), 2)
+	if sys.Domains() == 0 {
+		t.Fatalf("4x saturated config should partition")
+	}
+	sys.RunFrames(1)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		sys.Run(1000)
+	})
+	if allocs > 8 {
+		t.Fatalf("parallel steady state allocates %.1f times per 1000 cycles, want <= 8", allocs)
+	}
+}
+
 // TestSteadyStateAllocationsReference pins the cycle-stepped reference
 // path too: allocation freedom must not depend on idle skipping.
 func TestSteadyStateAllocationsReference(t *testing.T) {

@@ -166,6 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	saturated := fs.Bool("saturated", false, "cell sweep: bandwidth-bound saturated variant")
 	warmup := fs.Int("warmup", 0, "cell sweep: warmup frames before measurement")
 	measure := fs.Int("measure", 1, "cell sweep: measured frames")
+	domainWorkers := fs.Int("domain-workers", 0, "build each system on the domain-parallel kernel with this many goroutines (>= 2; 0/1 = serial kernel)")
 	analyze := fs.Bool("analyze", false, "attach the stall-attribution analyzers (serializes workers)")
 	analysisWindow := fs.Uint64("analysis-window", 0, "analyzer aggregation window in cycles (0 = 4 NPI sampling periods)")
 	analysisOut := fs.String("analysis-out", "", "with -analyze: write the windowed reports here (.csv = CSV sections, else JSON)")
@@ -214,6 +215,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Resume:         *resume,
 			Analyze:        *analyze,
 			AnalysisWindow: *analysisWindow,
+			DomainWorkers:  *domainWorkers,
 		},
 		cell: exp.Cell{
 			Case:         tc,
@@ -259,7 +261,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 // armed (a no-op watchdog-free build when neither is set) and, under
 // -analyze / -monitor, an analyzer attached.
 func (o cliOptions) build(cfg core.Config) *core.System {
-	sys := sara.Build(cfg)
+	var sys *core.System
+	if o.opt.DomainWorkers > 1 && !o.sink.active() {
+		// The analyzers hook the serial kernel, so -analyze / -monitor
+		// sweeps keep the serial build (matching exp.Options.apply).
+		sys = sara.BuildParallel(cfg, o.opt.DomainWorkers)
+	} else {
+		sys = sara.Build(cfg)
+	}
 	if wd := o.opt.Watchdog(); wd != nil {
 		sys.SetWatchdog(wd)
 	}
@@ -308,12 +317,12 @@ func sweepDelta(o cliOptions, w io.Writer) error {
 			return err
 		}
 		from := sys.Now()
-		before := sys.DRAM().Stats()
+		before := sys.DRAMStats()
 		if err := o.runFrames(sys, 1); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "%5d  %14.2f  %.3f\n", delta,
-			sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()), worstNPI(sys, from))
+			sys.BandwidthOverWindowGBps(before, from, sys.Now()), worstNPI(sys, from))
 	}
 	return nil
 }
@@ -389,7 +398,7 @@ func sweepRefresh(o cliOptions, w io.Writer) error {
 				return err
 			}
 			from := sys.Now()
-			before := sys.DRAM().Stats()
+			before := sys.DRAMStats()
 			if err := o.runFrames(sys, 1); err != nil {
 				return err
 			}
@@ -399,9 +408,9 @@ func sweepRefresh(o cliOptions, w io.Writer) error {
 			}
 			fmt.Fprintf(w, "%-9s  %-7s  %15.2f  %9d  %8.1f%%  %.3f\n",
 				policy, label,
-				sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()),
-				sys.DRAM().Stats().Totals().Refreshes,
-				100*sys.DRAM().RefreshDuty(sys.Now()), worstNPI(sys, from))
+				sys.BandwidthOverWindowGBps(before, from, sys.Now()),
+				sys.DRAMStats().Totals().Refreshes,
+				100*sys.RefreshDuty(sys.Now()), worstNPI(sys, from))
 		}
 	}
 	return nil
@@ -424,7 +433,7 @@ func sweepScale(o cliOptions, w io.Writer) error {
 			return err
 		}
 		from := sys.Now()
-		before := sys.DRAM().Stats()
+		before := sys.DRAMStats()
 		start := time.Now() //sara:wallclock host-throughput measurement (ns per simulated cycle)
 		if err := o.runFrames(sys, 1); err != nil {
 			return err
@@ -435,7 +444,7 @@ func sweepScale(o cliOptions, w io.Writer) error {
 		ch := cfg.DRAM.Geometry.Channels
 		fmt.Fprintf(w, "%4dx  %8d  %4d  %15.2f  %8.0f  %16.0f\n",
 			factor, ch, len(cfg.DMAs),
-			sys.DRAM().BandwidthOverWindowGBps(before, from, sys.Now()),
+			sys.BandwidthOverWindowGBps(before, from, sys.Now()),
 			nsPerCycle, nsPerCycle/float64(ch))
 	}
 	return nil

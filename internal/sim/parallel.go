@@ -1,0 +1,86 @@
+// Domain-parallel run support: the epoch barrier the per-channel domain
+// kernels synchronize on (see core.BuildParallel). Each domain runs its
+// own *Kernel on its own goroutine and all domains rendezvous twice per
+// lookahead epoch — once after the cross-domain mailbox exchange, once
+// after the epoch's Run segment — so mailbox memory is only ever touched
+// on one side of a barrier (plain fields, no per-packet atomics).
+//
+// The barrier is a sense-reversing atomic spin barrier, not a sync.Cond:
+// an epoch is only a few cycles of simulation (single-digit microseconds
+// of work per domain), so parking workers in the scheduler at every
+// rendezvous would cost more than the epoch itself. Waiters spin briefly
+// and then yield, which keeps the loop correct (if slow) even when
+// GOMAXPROCS is smaller than the worker count.
+
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// barrierSpins is how many times a waiter polls before yielding the
+// processor. Small enough that an oversubscribed host (fewer cores than
+// workers) degrades to cooperative scheduling instead of burning a full
+// quantum per rendezvous.
+const barrierSpins = 128
+
+// Barrier is a reusable sense-reversing spin barrier for n workers.
+// Wait blocks until all n workers have arrived, then releases them all;
+// the barrier is immediately reusable for the next rendezvous. Abort
+// permanently releases every current and future waiter with a false
+// return, so a worker that dies (panic, watchdog trip) cannot strand
+// the others mid-epoch.
+type Barrier struct {
+	n       int32
+	arrived atomic.Int32
+	gen     atomic.Uint32
+	aborted atomic.Bool
+}
+
+// NewBarrier returns a barrier for n workers (n >= 1).
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic(invariant("sim: barrier needs at least one worker"))
+	}
+	return &Barrier{n: int32(n)}
+}
+
+// Wait blocks until all workers arrive (or the barrier is aborted) and
+// reports whether the rendezvous completed normally. The atomic
+// generation publish/observe pair is also the happens-before edge the
+// domain mailboxes rely on: everything written before a worker's Wait
+// is visible to every worker after the matching release.
+//
+//sara:hotpath
+func (b *Barrier) Wait() bool {
+	if b.aborted.Load() {
+		return false
+	}
+	g := b.gen.Load()
+	if b.arrived.Add(1) == b.n {
+		// Last arriver: reset the count before publishing the new
+		// generation, so no released waiter can reach its next Wait
+		// while the count still holds the old generation's arrivals.
+		b.arrived.Store(0)
+		b.gen.Add(1)
+		return !b.aborted.Load()
+	}
+	for spins := 0; b.gen.Load() == g; spins++ {
+		if b.aborted.Load() {
+			return false
+		}
+		if spins >= barrierSpins {
+			runtime.Gosched()
+		}
+	}
+	return !b.aborted.Load()
+}
+
+// Abort permanently releases the barrier: every blocked and future Wait
+// returns false. Called by a worker that cannot reach its next
+// rendezvous (panic unwinding, watchdog trip) before it unwinds.
+func (b *Barrier) Abort() { b.aborted.Store(true) }
+
+// Aborted reports whether Abort has been called.
+func (b *Barrier) Aborted() bool { return b.aborted.Load() }
